@@ -1,0 +1,67 @@
+"""Bench A3 — ablation: exhaustive rank-sum vs greedy max-min diversity.
+
+The paper's exhaustive method evaluates all C(n, k) subsets; the greedy
+farthest-point heuristic evaluates O(n k) pairs. This bench grows the
+skyline it refines and shows the blow-up. Expected shape: identical or
+near-identical subset quality at small n, with exhaustive cost exploding
+combinatorially while greedy stays flat.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.core import refine_by_diversity, subset_diversity, pairwise_distance_matrix
+from repro.datasets import molecule_like_graph
+from repro.measures import diversity_measures
+
+SKYLINE_SIZES = (5, 7, 9)
+
+
+def fake_skyline(n: int):
+    return [molecule_like_graph(6, seed=100 + i, name=f"s{i}") for i in range(n)]
+
+
+@pytest.mark.benchmark(group="a3-diversity")
+@pytest.mark.parametrize("n", SKYLINE_SIZES)
+def test_exhaustive_refinement(benchmark, n):
+    graphs = fake_skyline(n)
+    result = benchmark.pedantic(
+        refine_by_diversity, args=(graphs, 3), kwargs={"method": "exhaustive"},
+        rounds=1, iterations=1,
+    )
+    assert len(result.subset) == 3
+
+
+@pytest.mark.benchmark(group="a3-diversity")
+@pytest.mark.parametrize("n", SKYLINE_SIZES)
+def test_greedy_refinement(benchmark, n):
+    graphs = fake_skyline(n)
+    result = benchmark.pedantic(
+        refine_by_diversity, args=(graphs, 3), kwargs={"method": "greedy"},
+        rounds=1, iterations=1,
+    )
+    assert len(result.subset) == 3
+
+
+def test_greedy_quality_close_to_exhaustive():
+    """Greedy's min-pairwise-diversity must reach a large fraction of the
+    exhaustive optimum on each dimension-aggregate."""
+    graphs = fake_skyline(7)
+    measures = diversity_measures()
+    matrix = pairwise_distance_matrix(graphs, measures)
+    exhaustive = refine_by_diversity(graphs, 3, method="exhaustive")
+    greedy = refine_by_diversity(graphs, 3, method="greedy")
+
+    def mean_diversity(indices):
+        div = subset_diversity(tuple(indices), matrix, len(measures))
+        return sum(div) / len(div)
+
+    best = mean_diversity(exhaustive.best.indices)
+    approx = mean_diversity(greedy.best.indices)
+    assert approx >= 0.7 * best
+    print()
+    print(render_table(
+        ["method", "mean min-pairwise diversity"],
+        [["exhaustive", round(best, 3)], ["greedy", round(approx, 3)]],
+        title="A3 — subset quality",
+    ))

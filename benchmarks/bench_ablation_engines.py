@@ -1,0 +1,75 @@
+"""Benches A6/A7 — ablation: alternative exact engines.
+
+* **A6**: McGregor-style branch and bound vs modular-edge-product maximal
+  cliques for the maximum common connected subgraph. Identical results
+  (asserted); the branch and bound usually wins on sparse labeled graphs
+  because label pruning bites before the product graph is even built.
+* **A7**: depth-first branch and bound vs best-first A* for the exact
+  edit distance. Identical distances (asserted); A* expands fewer states
+  (optimal for the shared heuristic) but pays heap and state-copy
+  overhead — the bench shows where each engine wins.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.datasets import molecule_like_graph
+from repro.graph import (
+    graph_edit_distance,
+    graph_edit_distance_astar,
+    maximum_common_subgraph,
+    maximum_common_subgraph_clique,
+)
+
+PAIRS = [
+    (molecule_like_graph(6, seed=50 + 2 * i), molecule_like_graph(6, seed=51 + 2 * i))
+    for i in range(5)
+]
+
+
+@pytest.mark.benchmark(group="a6-mcs-engines")
+def test_mcs_mcgregor(benchmark):
+    sizes = benchmark(
+        lambda: [maximum_common_subgraph(g1, g2).size for g1, g2 in PAIRS]
+    )
+    assert all(size >= 0 for size in sizes)
+
+
+@pytest.mark.benchmark(group="a6-mcs-engines")
+def test_mcs_clique(benchmark):
+    sizes = benchmark.pedantic(
+        lambda: [maximum_common_subgraph_clique(g1, g2).size for g1, g2 in PAIRS],
+        rounds=1,
+        iterations=1,
+    )
+    reference = [maximum_common_subgraph(g1, g2).size for g1, g2 in PAIRS]
+    assert sizes == reference
+
+
+@pytest.mark.benchmark(group="a7-ged-engines")
+def test_ged_depth_first(benchmark):
+    results = benchmark(
+        lambda: [graph_edit_distance(g1, g2) for g1, g2 in PAIRS]
+    )
+    expansions = sum(result.expanded_nodes for result in results)
+    print(f"\nDF-GED expanded nodes (total over {len(PAIRS)} pairs): {expansions}")
+
+
+@pytest.mark.benchmark(group="a7-ged-engines")
+def test_ged_astar(benchmark):
+    results = benchmark.pedantic(
+        lambda: [graph_edit_distance_astar(g1, g2) for g1, g2 in PAIRS],
+        rounds=1,
+        iterations=1,
+    )
+    reference = [graph_edit_distance(g1, g2).distance for g1, g2 in PAIRS]
+    assert [result.distance for result in results] == pytest.approx(reference)
+    expansions = sum(result.expanded_nodes for result in results)
+    print()
+    print(render_table(
+        ["engine", "expanded nodes"],
+        [["A*", expansions],
+         ["DF-BnB", sum(graph_edit_distance(g1, g2).expanded_nodes
+                        for g1, g2 in PAIRS)]],
+        title="A7 — search effort",
+    ))

@@ -1,0 +1,61 @@
+"""Bench A2 — ablation: exact GED vs bipartite vs beam search.
+
+Times the three edit-distance engines on a fixed set of random
+molecule-like pairs and reports their accuracy (mean overestimation
+relative to exact). Expected shape: bipartite is orders of magnitude
+faster but overestimates; beam tightens with width at growing cost; exact
+is feasible at these sizes thanks to its multiset lower bounds.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.datasets import molecule_like_graph
+from repro.graph import beam_ged, bipartite_ged, graph_edit_distance
+
+PAIRS = [
+    (molecule_like_graph(6, seed=2 * i), molecule_like_graph(6, seed=2 * i + 1))
+    for i in range(6)
+]
+
+
+def run_exact():
+    return [graph_edit_distance(g1, g2).distance for g1, g2 in PAIRS]
+
+
+def run_bipartite():
+    return [bipartite_ged(g1, g2).distance for g1, g2 in PAIRS]
+
+
+def run_beam(width: int):
+    return [beam_ged(g1, g2, beam_width=width).distance for g1, g2 in PAIRS]
+
+
+@pytest.mark.benchmark(group="a2-ged-engines")
+def test_ged_exact(benchmark):
+    distances = benchmark.pedantic(run_exact, rounds=1, iterations=1)
+    assert all(d >= 0 for d in distances)
+
+
+@pytest.mark.benchmark(group="a2-ged-engines")
+def test_ged_bipartite(benchmark):
+    estimates = benchmark(run_bipartite)
+    exact = run_exact()
+    assert all(e >= x - 1e-9 for e, x in zip(estimates, exact))
+    gap = sum(e - x for e, x in zip(estimates, exact)) / len(exact)
+    print(f"\nbipartite mean overestimation: {gap:.2f} edits")
+
+
+@pytest.mark.benchmark(group="a2-ged-engines")
+@pytest.mark.parametrize("width", [1, 8, 64])
+def test_ged_beam(benchmark, width):
+    estimates = benchmark.pedantic(run_beam, args=(width,), rounds=1, iterations=1)
+    exact = run_exact()
+    assert all(e >= x - 1e-9 for e, x in zip(estimates, exact))
+    gap = sum(e - x for e, x in zip(estimates, exact)) / len(exact)
+    print()
+    print(render_table(
+        ["beam width", "mean overestimation (edits)"],
+        [[width, round(gap, 3)]],
+        title="A2 — beam accuracy",
+    ))

@@ -1,0 +1,85 @@
+"""Bench A5 — ablation: Pareto skyline vs weighted-sum scalarization.
+
+The classical alternative to the paper's approach collapses the GCS into
+one weighted score. This bench quantifies what scalarization loses: for a
+grid of weight vectors, which skyline members a weighted-sum top-1 can
+ever surface. Expected shape: every scalarization winner is a skyline
+member (the textbook inclusion — asserted), but non-convex Pareto optima
+are unreachable for *any* weights, so the union of winners over the whole
+weight grid typically covers only part of the skyline. Timings compare a
+full skyline query against a single scalarized ranking.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bench import render_table
+from repro.core import graph_similarity_skyline, top_k_by_measure
+from repro.datasets import make_workload
+from repro.measures import WeightedSumMeasure
+
+MEASURES = ("edit", "mcs", "union")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(n_graphs=25, query_size=7, seed=55)
+
+
+@pytest.mark.benchmark(group="a5-scalarization")
+def test_skyline_query(benchmark, workload):
+    query = workload.queries[0]
+    result = benchmark.pedantic(
+        graph_similarity_skyline,
+        args=(workload.database, query),
+        kwargs={"measures": MEASURES},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.skyline) >= 1
+
+
+@pytest.mark.benchmark(group="a5-scalarization")
+def test_weighted_sum_ranking(benchmark, workload):
+    query = workload.queries[0]
+    aggregated = WeightedSumMeasure(MEASURES, (1.0, 1.0, 1.0))
+    result = benchmark.pedantic(
+        top_k_by_measure,
+        args=(workload.database, query, aggregated, 3),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.indices) == 3
+
+
+def test_scalarization_coverage_of_skyline(workload):
+    """Sweep a weight grid; report which skyline members scalarization can
+    surface at all. Winners must always be skyline members."""
+    query = workload.queries[0]
+    skyline = graph_similarity_skyline(workload.database, query, measures=MEASURES)
+    skyline_names = {g.name for g in skyline.skyline}
+    reachable: set[str] = set()
+    grid = [0.2, 1.0, 5.0]
+    for weights in itertools.product(grid, repeat=3):
+        aggregated = WeightedSumMeasure(MEASURES, weights)
+        winner_index = top_k_by_measure(
+            workload.database, query, aggregated, 1
+        ).indices[0]
+        winner = workload.database[winner_index]
+        winner_vector = skyline.vectors[winner_index].values
+        # inclusion theorem: the winner's vector equals a skyline vector
+        assert any(
+            skyline.vectors[i].values == winner_vector
+            for i in skyline.skyline_indices
+        ), weights
+        if winner.name in skyline_names:
+            reachable.add(winner.name)
+    coverage = len(reachable) / len(skyline_names)
+    print()
+    print(render_table(
+        ["skyline size", "reachable by weighted sums", "coverage"],
+        [[len(skyline_names), len(reachable), f"{coverage:.0%}"]],
+        title="A5 — what linear scalarization can surface",
+    ))
+    assert 0.0 < coverage <= 1.0

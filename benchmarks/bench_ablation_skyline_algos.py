@@ -1,0 +1,49 @@
+"""Bench A1 — ablation: generic skyline algorithm choice.
+
+All four algorithms compute identical skylines (property-tested); this
+bench times them on identical synthetic GCS-like vector sets. Expected
+shape: naive is quadratic everywhere; BNL/SFS win when the skyline is a
+small fraction of the input (the similarity-search regime); divide &
+conquer pays recursion overhead at these sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.skyline import ALGORITHMS, naive_skyline, skyline
+
+
+def make_vectors(n: int, d: int = 3, seed: int = 0) -> list[tuple[float, ...]]:
+    rng = random.Random(seed)
+    return [
+        tuple(round(rng.uniform(0.0, 1.0), 3) for _ in range(d)) for _ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return make_vectors(1500)
+
+
+@pytest.mark.benchmark(group="a1-skyline-algos")
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_skyline_algorithm_ablation(benchmark, vectors, algorithm):
+    result = benchmark(skyline, vectors, algorithm=algorithm)
+    assert result == naive_skyline(vectors)
+
+
+@pytest.mark.benchmark(group="a1-skyline-algos-correlated")
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_skyline_algorithm_ablation_correlated(benchmark, algorithm):
+    """Correlated dimensions -> tiny skyline -> window algorithms shine."""
+    rng = random.Random(3)
+    vectors = []
+    for _ in range(1500):
+        base = rng.uniform(0.0, 1.0)
+        vectors.append(tuple(
+            round(min(1.0, max(0.0, base + rng.uniform(-0.05, 0.05))), 3)
+            for _ in range(3)
+        ))
+    result = benchmark(skyline, vectors, algorithm=algorithm)
+    assert result == naive_skyline(vectors)

@@ -1,0 +1,46 @@
+"""Bench F1 — Fig. 1 / Example 2: DistEd(g1, g2) = 4.
+
+Regenerates the edit distance of the worked pair and verifies the optimal
+sequence has the paper's exact operation mix (edge deletion, edge
+relabeling, vertex relabeling, edge insertion). Times the exact solver
+and both heuristics on the same pair.
+"""
+
+import pytest
+
+from repro.graph import (
+    beam_ged,
+    bipartite_ged,
+    edit_path_from_mapping,
+    graph_edit_distance,
+)
+
+
+@pytest.mark.benchmark(group="fig1-edit-distance")
+def test_fig1_exact_ged(benchmark, fig1):
+    g1, g2 = fig1
+
+    result = benchmark(graph_edit_distance, g1, g2)
+
+    assert result.distance == 4.0
+    path = edit_path_from_mapping(g1, g2, result.mapping)
+    kinds = sorted(type(op).__name__ for op in path)
+    assert kinds == [
+        "EdgeDeletion", "EdgeInsertion", "EdgeRelabeling", "VertexRelabeling",
+    ]
+    print(f"\nFig.1: DistEd = {result.distance:.0f} "
+          f"via {', '.join(type(op).__name__ for op in path)}")
+
+
+@pytest.mark.benchmark(group="fig1-edit-distance")
+def test_fig1_bipartite_upper_bound(benchmark, fig1):
+    g1, g2 = fig1
+    estimate = benchmark(bipartite_ged, g1, g2)
+    assert estimate.distance >= 4.0  # upper bound on the exact value
+
+
+@pytest.mark.benchmark(group="fig1-edit-distance")
+def test_fig1_beam_upper_bound(benchmark, fig1):
+    g1, g2 = fig1
+    estimate = benchmark(beam_ged, g1, g2, beam_width=16)
+    assert estimate.distance >= 4.0

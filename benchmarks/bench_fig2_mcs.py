@@ -1,0 +1,40 @@
+"""Bench F2 — Fig. 2 / Examples 3-4: the mcs of the Fig. 1 pair.
+
+Regenerates |mcs(g1, g2)| = 4 and the derived distances
+DistMcs = 0.33 (Example 3) and DistGu = 0.50 (Example 4); times the MCS
+solver on the pair.
+"""
+
+import pytest
+
+from repro.graph import maximum_common_subgraph
+from repro.measures import GraphUnionDistance, McsDistance, PairContext
+
+
+@pytest.mark.benchmark(group="fig2-mcs")
+def test_fig2_mcs_size(benchmark, fig1):
+    g1, g2 = fig1
+
+    result = benchmark(maximum_common_subgraph, g1, g2)
+
+    assert result.size == 4
+    sub = result.subgraph(g1)
+    assert sub.is_connected()
+    print(f"\nFig.2: |mcs| = {result.size}, vertices = {sorted(map(str, sub.vertices()))}")
+
+
+@pytest.mark.benchmark(group="fig2-mcs")
+def test_examples_3_and_4_distances(benchmark, fig1):
+    g1, g2 = fig1
+
+    def both():
+        context = PairContext(g1, g2)
+        return (
+            McsDistance().distance(g1, g2, context),
+            GraphUnionDistance().distance(g1, g2, context),
+        )
+
+    dist_mcs, dist_gu = benchmark(both)
+    assert dist_mcs == pytest.approx(0.33, abs=0.005)
+    assert dist_gu == pytest.approx(0.50, abs=0.005)
+    print(f"\nDistMcs = {dist_mcs:.2f} (paper 0.33), DistGu = {dist_gu:.2f} (paper 0.50)")

@@ -1,0 +1,78 @@
+"""Bench A8 — incremental skyline maintenance vs batch recomputation.
+
+Simulates a living database: vectors stream in one at a time and the
+answer set must stay current after every arrival. Expected shape: batch
+recomputation after each insert costs O(n^2) per step (cubic over the
+stream), while the incremental tracker pays one window comparison per
+insert — the gap widens with stream length. Deletion cost is measured
+separately (the expensive promotion path).
+"""
+
+import random
+
+import pytest
+
+from repro.skyline import IncrementalSkyline, bnl_skyline
+
+STREAM = 400
+
+
+def make_stream(n: int, seed: int = 0) -> list[tuple[float, float, float]]:
+    rng = random.Random(seed)
+    return [
+        (rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(n)
+    ]
+
+
+@pytest.mark.benchmark(group="a8-incremental")
+def test_incremental_stream(benchmark):
+    stream = make_stream(STREAM)
+
+    def run() -> int:
+        tracker = IncrementalSkyline(dimension=3)
+        for index, vector in enumerate(stream):
+            tracker.insert(index, vector)
+        return tracker.skyline_size
+
+    size = benchmark(run)
+    assert size >= 1
+
+
+@pytest.mark.benchmark(group="a8-incremental")
+def test_batch_recompute_per_insert(benchmark):
+    stream = make_stream(STREAM)
+
+    def run() -> int:
+        live: list[tuple[float, float, float]] = []
+        members: list[int] = []
+        for vector in stream:
+            live.append(vector)
+            members = bnl_skyline(live)
+        return len(members)
+
+    size = benchmark.pedantic(run, rounds=1, iterations=1)
+    # both strategies must agree on the final answer
+    tracker = IncrementalSkyline(dimension=3)
+    for index, vector in enumerate(stream):
+        tracker.insert(index, vector)
+    assert size == tracker.skyline_size
+
+
+@pytest.mark.benchmark(group="a8-incremental-deletion")
+def test_incremental_with_deletions(benchmark):
+    stream = make_stream(STREAM, seed=5)
+
+    def run() -> int:
+        rng = random.Random(1)
+        tracker = IncrementalSkyline(dimension=3)
+        live: list[int] = []
+        for index, vector in enumerate(stream):
+            tracker.insert(index, vector)
+            live.append(index)
+            if len(live) > 50:  # sliding-window style deletions
+                victim = live.pop(rng.randrange(len(live)))
+                tracker.remove(victim)
+        return tracker.skyline_size
+
+    size = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert size >= 1

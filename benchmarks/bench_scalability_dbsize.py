@@ -1,0 +1,40 @@
+"""Bench E1 — the experiments the paper announces: scaling database size.
+
+"We plan to conduct some experiments on real-life data to demonstrate the
+effectiveness and efficiency of the approach" (Section VIII). This bench
+runs the full skyline query over molecule-like synthetic databases of
+growing size and reports runtime plus skyline size. Expected shape:
+runtime grows roughly linearly in n (one exact GED + MCS per graph
+dominates; the skyline step is negligible), and the skyline stays a small
+fraction of the database.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.core import graph_similarity_skyline
+from repro.datasets import make_workload
+
+SIZES = (10, 20, 40, 80)
+
+
+@pytest.mark.benchmark(group="e1-dbsize")
+@pytest.mark.parametrize("n", SIZES)
+def test_skyline_query_scaling_with_database_size(benchmark, n):
+    workload = make_workload(n_graphs=n, query_size=7, seed=42)
+    query = workload.queries[0]
+
+    result = benchmark.pedantic(
+        graph_similarity_skyline,
+        args=(workload.database, query),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert 1 <= len(result.skyline) <= n
+    print()
+    print(render_table(
+        ["n", "skyline size", "skyline fraction"],
+        [[n, len(result.skyline), round(len(result.skyline) / n, 3)]],
+        title="E1 — skyline size vs database size",
+    ))

@@ -1,0 +1,65 @@
+"""Bench E2 — announced experiments: scaling GCS dimensionality.
+
+The paper's approach generalises to any number d of local measures
+(Definition 11). This bench sweeps d from 1 to 5 on a fixed synthetic
+database and reports skyline size. Expected shape (classic skyline
+behaviour): the skyline grows with d — with one measure the "skyline" is
+the set of distance minimisers; every added facet makes more graphs
+Pareto-incomparable. Runtime is dominated by the d = 1 presence of DistEd
+(exact GED), so added cheap dimensions barely change it.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.core import graph_similarity_skyline
+from repro.datasets import make_workload
+
+MEASURE_STACKS = {
+    1: ("edit",),
+    2: ("edit", "mcs"),
+    3: ("edit", "mcs", "union"),
+    4: ("edit", "mcs", "union", "jaccard-edges"),
+    5: ("edit", "mcs", "union", "jaccard-edges", "degree-sequence"),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(n_graphs=30, query_size=7, seed=17)
+
+
+@pytest.mark.benchmark(group="e2-dimensionality")
+@pytest.mark.parametrize("d", sorted(MEASURE_STACKS))
+def test_skyline_size_vs_dimensionality(benchmark, workload, d):
+    query = workload.queries[0]
+    measures = MEASURE_STACKS[d]
+
+    result = benchmark.pedantic(
+        graph_similarity_skyline,
+        args=(workload.database, query),
+        kwargs={"measures": measures},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(result.skyline) >= 1
+    print()
+    print(render_table(
+        ["d", "measures", "skyline size"],
+        [[d, "+".join(measures), len(result.skyline)]],
+        title="E2 — skyline size vs dimensionality",
+    ))
+
+
+def test_skyline_growth_shape(workload):
+    """Non-benchmark check of the expected monotone-ish growth: the d = 3
+    skyline is at least as large as the d = 1 skyline on this workload."""
+    query = workload.queries[0]
+    small = graph_similarity_skyline(
+        workload.database, query, measures=MEASURE_STACKS[1]
+    )
+    large = graph_similarity_skyline(
+        workload.database, query, measures=MEASURE_STACKS[3]
+    )
+    assert len(large.skyline) >= len(small.skyline)

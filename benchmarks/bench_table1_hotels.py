@@ -1,0 +1,35 @@
+"""Bench T1 — Table I / Example 1: the hotel skyline.
+
+Regenerates the paper's introductory skyline (S = {H2, H4, H6}) and times
+each generic skyline algorithm on it. The assertion *is* the reproduction;
+the timing shows the (tiny) constant factors at n = 7.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.datasets import EXPECTED_SKYLINE, HOTELS, hotel_names, hotel_vectors
+from repro.skyline import ALGORITHMS, skyline
+
+
+@pytest.mark.benchmark(group="table1-hotels")
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_table1_hotel_skyline(benchmark, algorithm):
+    vectors = hotel_vectors()
+    names = hotel_names()
+
+    indices = benchmark(skyline, vectors, algorithm=algorithm)
+
+    result = tuple(names[i] for i in indices)
+    assert result == EXPECTED_SKYLINE
+
+    rows = [
+        [hotel.name, hotel.price, hotel.distance_km, hotel.name in result]
+        for hotel in HOTELS
+    ]
+    print()
+    print(render_table(
+        ["hotel", "price", "distance (km)", "in skyline"],
+        rows,
+        title=f"Table I ({algorithm}) — skyline = {result}",
+    ))

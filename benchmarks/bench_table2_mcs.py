@@ -1,0 +1,31 @@
+"""Bench T2 — Table II: |mcs(gi, q)| for the Fig. 3 database.
+
+Regenerates the full column (4, 4, 4, 3, 5, 5, 6) with the exact MCS
+solver and times the column computation (7 MCS instances).
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.datasets import TABLE2_MCS
+from repro.graph import mcs_size
+
+
+@pytest.mark.benchmark(group="table2-mcs")
+def test_table2_mcs_column(benchmark, fig3_db, fig3_query):
+    column = benchmark(
+        lambda: tuple(mcs_size(g, fig3_query) for g in fig3_db)
+    )
+
+    assert column == TABLE2_MCS
+
+    rows = [
+        [f"({g.name}, q)", measured, expected, "OK"]
+        for g, measured, expected in zip(fig3_db, column, TABLE2_MCS)
+    ]
+    print()
+    print(render_table(
+        ["pair", "measured |mcs|", "paper", "verdict"],
+        rows,
+        title="Table II — |mcs(gi, q)|",
+    ))

@@ -1,0 +1,59 @@
+"""Bench T3 — Table III + Section VI: the GCS matrix and the skyline.
+
+Regenerates the full (DistEd, DistMcs, DistGu) matrix, the skyline
+GSS(D, q) = {g1, g4, g5, g7}, the dominance pairs the paper calls out, and
+the top-3-by-DistEd contrast (g3 is returned by the baseline but rejected
+by the skyline). Times the end-to-end skyline query (7 exact GED + 7 exact
+MCS + skyline) and the matrix-only part.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.core import gcs_matrix, graph_similarity_skyline, top_k_by_measure
+from repro.datasets import EXPECTED_DOMINANCE, EXPECTED_GSS, TABLE3_GCS
+
+
+@pytest.mark.benchmark(group="table3-gcs")
+def test_table3_gcs_matrix(benchmark, fig3_db, fig3_query):
+    matrix = benchmark(gcs_matrix, fig3_db, fig3_query)
+
+    for graph, vector, expected in zip(fig3_db, matrix, TABLE3_GCS):
+        assert vector.values[0] == pytest.approx(expected[0]), graph.name
+        assert vector.values[1] == pytest.approx(expected[1]), graph.name
+        assert vector.values[2] == pytest.approx(expected[2]), graph.name
+
+    rows = [
+        [f"({g.name}, q)", v.values[0], round(v.values[1], 2), round(v.values[2], 2)]
+        for g, v in zip(fig3_db, matrix)
+    ]
+    print()
+    print(render_table(
+        ["pair", "DistEd", "DistMcs", "DistGu"], rows,
+        title="Table III — GCS(gi, q)",
+    ))
+
+
+@pytest.mark.benchmark(group="table3-skyline")
+def test_section6_skyline_query(benchmark, fig3_db, fig3_query):
+    result = benchmark(graph_similarity_skyline, fig3_db, fig3_query)
+
+    assert tuple(g.name for g in result.skyline) == EXPECTED_GSS
+    names = [g.name for g in result.graphs]
+    for dominated, dominator in EXPECTED_DOMINANCE:
+        dominators = {names[j] for j in result.dominators_of(names.index(dominated))}
+        assert dominator in dominators
+    print(f"\nGSS(D, q) = {{{', '.join(g.name for g in result.skyline)}}} "
+          f"(paper: {{g1, g4, g5, g7}})")
+
+
+@pytest.mark.benchmark(group="table3-skyline")
+def test_section6_topk_contrast(benchmark, fig3_db, fig3_query):
+    """k = 3 under DistEd alone returns g3; the skyline rejects it."""
+    ranked = benchmark(top_k_by_measure, fig3_db, fig3_query, "edit", 3)
+
+    topk_names = {fig3_db[i].name for i in ranked.indices}
+    assert "g3" in topk_names
+    assert "g3" not in EXPECTED_GSS
+    print(f"\ntop-3 by DistEd = {sorted(topk_names)}; "
+          f"g3 in top-3 but not in GSS — the paper's Section VI point")

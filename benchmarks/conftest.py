@@ -1,0 +1,22 @@
+"""Shared fixtures for the reproduction benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import figure1_pair, figure3_database, figure3_query
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return figure1_pair()
+
+
+@pytest.fixture(scope="session")
+def fig3_db():
+    return figure3_database()
+
+
+@pytest.fixture(scope="session")
+def fig3_query():
+    return figure3_query()

@@ -1,0 +1,54 @@
+"""Dynamic databases: incremental skyline maintenance and explanations.
+
+Graph databases change; recomputing GCS vectors is the expensive part,
+and the skyline itself can be maintained online. This example:
+
+1. streams compounds into an :class:`IncrementalSkyline`, paying one GCS
+   evaluation per insert and watching the answer set evolve;
+2. deletes a skyline member and shows dominated compounds being promoted;
+3. asks the library to *explain* why a specific compound is (not) in the
+   final answer.
+
+Run:  python examples/dynamic_database.py
+"""
+
+from repro.core import compound_similarity, explain_membership, graph_similarity_skyline
+from repro.datasets import make_workload
+from repro.skyline import IncrementalSkyline
+
+
+def main() -> None:
+    workload = make_workload(n_graphs=15, query_size=7, seed=12)
+    query = workload.queries[0]
+
+    tracker = IncrementalSkyline(dimension=3)
+    print("streaming compounds in:")
+    for graph in workload.database:
+        vector = compound_similarity(graph, query)
+        joined = tracker.insert(graph.name, vector.values)
+        status = "joins the skyline" if joined else "dominated on arrival"
+        print(f"  + {graph.name:<14} GCS=({', '.join(f'{v:.2f}' for v in vector.values)}) "
+              f"-> {status}; skyline size {tracker.skyline_size}")
+    print()
+    members = tracker.skyline_keys()
+    print(f"final skyline: {members}")
+    print()
+
+    victim = members[0]
+    tracker.remove(victim)
+    print(f"after deleting {victim}: skyline = {tracker.skyline_keys()}")
+    print("(previously dominated compounds are promoted automatically)")
+    print()
+
+    # Explanations come from the batch result object.
+    result = graph_similarity_skyline(workload.database, query)
+    outsider = next(
+        g.name for g in result.graphs if g not in result.skyline
+    )
+    print(explain_membership(result, outsider).narrative())
+    print()
+    print(explain_membership(result, result.skyline[0].name).narrative())
+
+
+if __name__ == "__main__":
+    main()

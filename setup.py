@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``. This file exists so the
+package can be installed in environments without the ``wheel`` package
+(offline boxes), where PEP 517 editable installs are unavailable:
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Similarity skyline queries over graph databases "
+        "(reproduction of Abbaci et al., GDM/ICDE 2011)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

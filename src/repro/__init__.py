@@ -1,0 +1,121 @@
+"""repro — similarity skyline queries over graph databases.
+
+A faithful, self-contained reproduction of
+
+    K. Abbaci, A. Hadjali, L. Liétard, D. Rocacher.
+    "A Similarity Skyline Approach for Handling Graph Queries —
+    A Preliminary Report." GDM workshop @ IEEE ICDE, 2011.
+
+Quick tour
+----------
+>>> from repro import (
+...     LabeledGraph, graph_similarity_skyline, refine_by_diversity)
+>>> from repro.datasets import figure3_database, figure3_query
+>>> result = graph_similarity_skyline(figure3_database(), figure3_query())
+>>> [g.name for g in result.skyline]
+['g1', 'g4', 'g5', 'g7']
+>>> refined = refine_by_diversity(result.skyline, k=2)
+>>> [g.name for g in refined.subset]
+['g1', 'g4']
+
+Packages
+--------
+``repro.graph``     labeled graphs, isomorphism, MCS, exact/approx GED
+``repro.measures``  DistEd / DistMcs / DistGu (+ extensions)
+``repro.skyline``   generic Pareto skyline algorithms
+``repro.core``      GCS, similarity-dominance, GSS, diversity refinement
+``repro.db``        database storage, feature index, pruning executor
+``repro.datasets``  paper examples and synthetic workloads
+``repro.bench``     harness utilities for the reproduction benchmarks
+"""
+
+from repro.errors import (
+    DatasetError,
+    GraphError,
+    InvalidEditOperationError,
+    QueryError,
+    ReproError,
+    SerializationError,
+)
+from repro.graph import (
+    LabeledGraph,
+    UniformCostModel,
+    ged,
+    graph_edit_distance,
+    is_isomorphic,
+    is_subgraph_isomorphic,
+    maximum_common_subgraph,
+    mcs_size,
+)
+from repro.measures import (
+    DistanceMeasure,
+    EditDistance,
+    GraphUnionDistance,
+    McsDistance,
+    NormalizedEditDistance,
+    default_measures,
+    diversity_measures,
+    get_measure,
+)
+from repro.skyline import dominates, skyline
+from repro.core import (
+    CompoundSimilarity,
+    QueryAnswer,
+    SimilarityQueryEngine,
+    SkylineResult,
+    compound_similarity,
+    gcs_matrix,
+    graph_similarity_skyline,
+    refine_by_diversity,
+    similarity_dominates,
+    top_k_by_measure,
+)
+from repro.db import GraphDatabase, SkylineExecutor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GraphError",
+    "InvalidEditOperationError",
+    "QueryError",
+    "DatasetError",
+    "SerializationError",
+    # graphs
+    "LabeledGraph",
+    "UniformCostModel",
+    "ged",
+    "graph_edit_distance",
+    "is_isomorphic",
+    "is_subgraph_isomorphic",
+    "maximum_common_subgraph",
+    "mcs_size",
+    # measures
+    "DistanceMeasure",
+    "EditDistance",
+    "NormalizedEditDistance",
+    "McsDistance",
+    "GraphUnionDistance",
+    "default_measures",
+    "diversity_measures",
+    "get_measure",
+    # skyline
+    "skyline",
+    "dominates",
+    # core
+    "CompoundSimilarity",
+    "compound_similarity",
+    "gcs_matrix",
+    "similarity_dominates",
+    "graph_similarity_skyline",
+    "SkylineResult",
+    "refine_by_diversity",
+    "top_k_by_measure",
+    "SimilarityQueryEngine",
+    "QueryAnswer",
+    # db
+    "GraphDatabase",
+    "SkylineExecutor",
+]

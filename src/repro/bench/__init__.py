@@ -1,0 +1,23 @@
+"""Benchmark harness utilities (table rendering, paper-example pipeline)."""
+
+from repro.bench.harness import (
+    PaperExampleReport,
+    compute_paper_example_report,
+    query_side_vectors,
+)
+from repro.bench.reporting import (
+    agreement_summary,
+    comparison_rows,
+    format_value,
+    render_table,
+)
+
+__all__ = [
+    "PaperExampleReport",
+    "compute_paper_example_report",
+    "query_side_vectors",
+    "render_table",
+    "format_value",
+    "comparison_rows",
+    "agreement_summary",
+]

@@ -1,0 +1,86 @@
+"""Experiment harness shared by the reproduction benchmarks.
+
+Each bench in ``benchmarks/`` regenerates one artifact of the paper
+(table, figure, or announced experiment). The harness centralises the
+recurring mechanics: building the paper datasets, computing the
+full set of measured table values, and packaging paper-vs-measured
+verdicts that benches print and tests assert on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.diversity import refine_by_diversity
+from repro.core.gss import graph_similarity_skyline
+from repro.core.topk import top_k_by_measure
+from repro.datasets import paper_example
+from repro.graph.ged import graph_edit_distance
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.mcs import mcs_size
+from repro.measures.base import PairContext, default_measures
+
+
+@dataclass
+class PaperExampleReport:
+    """Every measured quantity of the Section-VI worked example."""
+
+    mcs_with_query: dict[str, int] = field(default_factory=dict)
+    gcs: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+    skyline: list[str] = field(default_factory=list)
+    topk_edit: list[str] = field(default_factory=list)
+    pairwise_mcs: dict[tuple[str, str], int] = field(default_factory=dict)
+    pairwise_ged: dict[tuple[str, str], int] = field(default_factory=dict)
+    diversity_vectors: dict[tuple[str, str], tuple[float, float, float]] = field(
+        default_factory=dict
+    )
+    diversity_ranks: dict[tuple[str, str], tuple[int, ...]] = field(default_factory=dict)
+    diversity_val: dict[tuple[str, str], int] = field(default_factory=dict)
+    diverse_subset: list[str] = field(default_factory=list)
+
+
+def compute_paper_example_report(k: int = 2, topk: int = 3) -> PaperExampleReport:
+    """Run the full Section VI + VII pipeline on the reconstructed data."""
+    report = PaperExampleReport()
+    database = paper_example.figure3_database()
+    query = paper_example.figure3_query()
+
+    for graph in database:
+        report.mcs_with_query[graph.name] = mcs_size(graph, query)
+
+    result = graph_similarity_skyline(database, query, measures=default_measures())
+    for graph, vector in zip(result.graphs, result.vectors):
+        report.gcs[graph.name] = tuple(vector.values)
+    report.skyline = [graph.name for graph in result.skyline]
+
+    ranked = top_k_by_measure(database, query, "edit", topk)
+    report.topk_edit = [database[i].name for i in ranked.indices]
+
+    members = result.skyline
+    for a, b in itertools.combinations(members, 2):
+        key = (a.name, b.name)
+        report.pairwise_mcs[key] = mcs_size(a, b)
+        report.pairwise_ged[key] = int(graph_edit_distance(a, b).distance)
+
+    refined = refine_by_diversity(members, k=k)
+    for candidate in refined.candidates:
+        key = tuple(candidate.names)
+        report.diversity_vectors[key] = candidate.diversity
+        report.diversity_ranks[key] = candidate.ranks
+        report.diversity_val[key] = candidate.val
+    report.diverse_subset = [graph.name for graph in refined.subset]
+    return report
+
+
+def query_side_vectors(
+    database: list[LabeledGraph], query: LabeledGraph
+) -> dict[str, tuple[float, ...]]:
+    """GCS vectors (default measures) keyed by graph name."""
+    vectors = {}
+    for graph in database:
+        context = PairContext(graph, query)
+        vectors[graph.name] = tuple(
+            measure.distance(graph, query, context) for measure in default_measures()
+        )
+    return vectors

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for the reproduction benches.
+
+Renders rows the way the paper prints them (fixed-width columns, rounded
+values) and produces paper-vs-measured comparison tables so every bench
+can show its verdict inline in the pytest-benchmark output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_value(value: object, digits: int = 2) -> str:
+    """Numbers rounded to ``digits``; integral floats printed as ints."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    digits: int = 2,
+) -> str:
+    """A fixed-width text table (paper style)."""
+    formatted = [[format_value(cell, digits) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in formatted), 1)
+        if formatted
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def comparison_rows(
+    paper: Mapping[str, float],
+    measured: Mapping[str, float],
+    tolerance: float = 0.01,
+) -> list[list[object]]:
+    """Rows (key, paper, measured, |delta|, verdict) for aligned mappings."""
+    rows: list[list[object]] = []
+    for key in paper:
+        expected = paper[key]
+        actual = measured[key]
+        delta = abs(actual - expected)
+        rows.append(
+            [key, expected, actual, round(delta, 4), "OK" if delta <= tolerance else "DIFF"]
+        )
+    return rows
+
+
+def agreement_summary(rows: Sequence[Sequence[object]]) -> str:
+    """'x/y cells agree' line for a comparison table."""
+    agreeing = sum(1 for row in rows if row[-1] == "OK")
+    return f"{agreeing}/{len(rows)} cells agree with the paper"

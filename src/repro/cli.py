@@ -1,0 +1,239 @@
+"""Command-line interface for the similarity-skyline system.
+
+Usage (installed as ``python -m repro``):
+
+* ``python -m repro skyline DB.json QUERY.json [--refine-k K] ...`` —
+  answer a similarity query with the graph similarity skyline;
+* ``python -m repro topk DB.json QUERY.json --k 3 --measure edit`` —
+  the single-measure baseline;
+* ``python -m repro distance G1.json G2.json`` — the full GCS vector of
+  one pair;
+* ``python -m repro generate out.json --n 40`` — write a synthetic
+  molecule-like workload database (plus ``out.query.json``);
+* ``python -m repro paper-example`` — print the reproduced tables of the
+  paper's worked example.
+
+Graph files are :func:`repro.graph.serialization.graph_to_json` payloads;
+database files are :func:`repro.db.persistence.save_database` payloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.bench import render_table
+from repro.core import (
+    graph_similarity_skyline,
+    refine_by_diversity,
+    top_k_by_measure,
+)
+from repro.core.gcs import compound_similarity
+from repro.db.persistence import load_database, save_database
+from repro.db.database import GraphDatabase
+from repro.errors import ReproError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.serialization import graph_from_json, graph_to_json
+from repro.measures.base import available_measures
+from repro.skyline import ALGORITHMS
+
+
+def _load_graph(path: str) -> LabeledGraph:
+    return graph_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _parse_measures(spec: str | None) -> tuple[str, ...] | None:
+    if spec is None:
+        return None
+    return tuple(part.strip() for part in spec.split(",") if part.strip())
+
+
+def _cmd_skyline(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    query = _load_graph(args.query)
+    result = graph_similarity_skyline(
+        database.graphs(),
+        query,
+        measures=_parse_measures(args.measures),
+        algorithm=args.algorithm,
+    )
+    if args.json:
+        payload = {
+            "measures": list(result.measures),
+            "skyline": [g.name for g in result.skyline],
+            "vectors": {
+                (g.name or str(i)): list(v.values)
+                for i, (g, v) in enumerate(zip(result.graphs, result.vectors))
+            },
+        }
+        if args.refine_k and args.refine_k < len(result.skyline):
+            refined = refine_by_diversity(result.skyline, args.refine_k)
+            payload["refined"] = [g.name for g in refined.subset]
+        print(json.dumps(payload, indent=1))
+        return 0
+    rows = [
+        [g.name or f"#{i}"]
+        + [round(value, 4) for value in v.values]
+        + ["*" if g in result.skyline else ""]
+        for i, (g, v) in enumerate(zip(result.graphs, result.vectors))
+    ]
+    print(render_table(["graph", *result.measures, "skyline"], rows))
+    print(f"skyline: {[g.name for g in result.skyline]}")
+    if args.refine_k and args.refine_k < len(result.skyline):
+        refined = refine_by_diversity(result.skyline, args.refine_k)
+        print(f"diverse subset (k={args.refine_k}): "
+              f"{[g.name for g in refined.subset]}")
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    query = _load_graph(args.query)
+    graphs = database.graphs()
+    result = top_k_by_measure(graphs, query, args.measure, args.k)
+    rows = [
+        [rank + 1, graphs[index].name or f"#{index}", round(distance, 4)]
+        for rank, (index, distance) in enumerate(result.ranking)
+    ]
+    print(render_table(["rank", "graph", result.measure], rows))
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    g1 = _load_graph(args.graph1)
+    g2 = _load_graph(args.graph2)
+    vector = compound_similarity(g1, g2, measures=_parse_measures(args.measures))
+    for name, value in vector.as_dict().items():
+        print(f"{name}: {value:.4f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import make_workload
+
+    workload = make_workload(
+        n_graphs=args.n,
+        query_size=args.query_size,
+        mutant_fraction=args.mutant_fraction,
+        seed=args.seed,
+    )
+    database = GraphDatabase.from_graphs(workload.database, name="synthetic")
+    save_database(database, args.output)
+    query_path = Path(args.output).with_suffix(".query.json")
+    query_path.write_text(graph_to_json(workload.queries[0]), encoding="utf-8")
+    print(f"wrote {len(database)} graphs to {args.output}")
+    print(f"wrote query to {query_path}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.graph.statistics import collection_statistics, describe_graph
+
+    database = load_database(args.database)
+    stats = collection_statistics(database.graphs())
+    print(f"database {database.name!r}: {stats.count} graphs, "
+          f"{stats.total_vertices} vertices, {stats.total_edges} edges")
+    print(f"  sizes: min {stats.min_size}, mean {stats.mean_size:.1f}, "
+          f"max {stats.max_size}; connected: {stats.connected_fraction:.0%}")
+    print(f"  vertex labels: {', '.join(stats.vertex_label_vocabulary)}")
+    print(f"  edge labels: {', '.join(stats.edge_label_vocabulary)}")
+    if args.verbose:
+        print()
+        for graph in database.graphs():
+            print(describe_graph(graph))
+    return 0
+
+
+def _cmd_paper_example(args: argparse.Namespace) -> int:
+    from repro.bench import compute_paper_example_report
+
+    report = compute_paper_example_report()
+    print(render_table(
+        ["pair", "|mcs|"],
+        [[f"({name}, q)", value] for name, value in report.mcs_with_query.items()],
+        title="Table II",
+    ))
+    print()
+    print(render_table(
+        ["pair", "DistEd", "DistMcs", "DistGu"],
+        [
+            [f"({name}, q)", v[0], round(v[1], 2), round(v[2], 2)]
+            for name, v in report.gcs.items()
+        ],
+        title="Table III",
+    ))
+    print()
+    print(f"GSS = {report.skyline}")
+    print(f"diverse subset (k=2) = {report.diverse_subset}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity skyline queries over graph databases "
+                    "(Abbaci et al., GDM/ICDE 2011 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sky = sub.add_parser("skyline", help="graph similarity skyline query")
+    p_sky.add_argument("database", help="database JSON file")
+    p_sky.add_argument("query", help="query graph JSON file")
+    p_sky.add_argument("--measures", default=None,
+                       help=f"comma-separated; available: {', '.join(available_measures())}")
+    p_sky.add_argument("--algorithm", default="bnl", choices=sorted(ALGORITHMS))
+    p_sky.add_argument("--refine-k", type=int, default=None,
+                       help="refine the skyline to k diverse graphs")
+    p_sky.add_argument("--json", action="store_true", help="machine-readable output")
+    p_sky.set_defaults(handler=_cmd_skyline)
+
+    p_topk = sub.add_parser("topk", help="single-measure top-k baseline")
+    p_topk.add_argument("database")
+    p_topk.add_argument("query")
+    p_topk.add_argument("--k", type=int, default=3)
+    p_topk.add_argument("--measure", default="edit")
+    p_topk.set_defaults(handler=_cmd_topk)
+
+    p_dist = sub.add_parser("distance", help="GCS vector of a graph pair")
+    p_dist.add_argument("graph1")
+    p_dist.add_argument("graph2")
+    p_dist.add_argument("--measures", default=None)
+    p_dist.set_defaults(handler=_cmd_distance)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic workload")
+    p_gen.add_argument("output")
+    p_gen.add_argument("--n", type=int, default=30)
+    p_gen.add_argument("--query-size", type=int, default=8)
+    p_gen.add_argument("--mutant-fraction", type=float, default=0.5)
+    p_gen.add_argument("--seed", type=int, default=7)
+    p_gen.set_defaults(handler=_cmd_generate)
+
+    p_desc = sub.add_parser("describe", help="database statistics")
+    p_desc.add_argument("database")
+    p_desc.add_argument("--verbose", action="store_true",
+                        help="also describe every graph")
+    p_desc.set_defaults(handler=_cmd_describe)
+
+    p_paper = sub.add_parser("paper-example", help="print the reproduced tables")
+    p_paper.set_defaults(handler=_cmd_paper_example)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's contribution: GCS, similarity-dominance, GSS, diversity.
+
+* :func:`compound_similarity` / :func:`gcs_matrix` — Definition 11.
+* :func:`similarity_dominates` — Definition 12.
+* :func:`graph_similarity_skyline` — Equation 4 / Section V.
+* :func:`refine_by_diversity` — Section VII.
+* :func:`top_k_by_measure` — the single-measure baseline of Section VI.
+* :class:`SimilarityQueryEngine` — all of the above behind one facade.
+"""
+
+from repro.core.gcs import CompoundSimilarity, compound_similarity, gcs_matrix
+from repro.core.dominance import similarity_dominates, similarity_incomparable
+from repro.core.gss import SkylineResult, graph_similarity_skyline
+from repro.core.diversity import (
+    DiversityCandidate,
+    DiversityResult,
+    dense_ranks_descending,
+    pairwise_distance_matrix,
+    refine_by_diversity,
+    subset_diversity,
+)
+from repro.core.topk import TopKResult, top_k_by_measure
+from repro.core.pipeline import QueryAnswer, SimilarityQueryEngine
+from repro.core.explain import (
+    Domination,
+    MembershipExplanation,
+    explain_all,
+    explain_membership,
+)
+
+__all__ = [
+    "CompoundSimilarity",
+    "compound_similarity",
+    "gcs_matrix",
+    "similarity_dominates",
+    "similarity_incomparable",
+    "SkylineResult",
+    "graph_similarity_skyline",
+    "DiversityCandidate",
+    "DiversityResult",
+    "dense_ranks_descending",
+    "pairwise_distance_matrix",
+    "refine_by_diversity",
+    "subset_diversity",
+    "TopKResult",
+    "top_k_by_measure",
+    "QueryAnswer",
+    "SimilarityQueryEngine",
+    "Domination",
+    "MembershipExplanation",
+    "explain_membership",
+    "explain_all",
+]

@@ -1,0 +1,45 @@
+"""Similarity-dominance relation (Definition 12).
+
+``g ≻q g'`` holds iff ``GCS(g, q)`` Pareto-dominates ``GCS(g', q)``: ``g``
+is not less similar to the query on any dimension and strictly more
+similar on at least one. The graph-level helpers below compute the two GCS
+vectors and delegate to the generic vector dominance of
+:mod:`repro.skyline.utils`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import DistanceMeasure
+from repro.core.gcs import compound_similarity
+from repro.skyline.utils import dominates
+
+
+def similarity_dominates(
+    g: LabeledGraph,
+    g_prime: LabeledGraph,
+    query: LabeledGraph,
+    measures: Iterable["str | DistanceMeasure"] | None = None,
+    tolerance: float = 0.0,
+) -> bool:
+    """Whether ``g ≻q g_prime`` (Definition 12)."""
+    vector_g = compound_similarity(g, query, measures).values
+    vector_g_prime = compound_similarity(g_prime, query, measures).values
+    return dominates(vector_g, vector_g_prime, tolerance)
+
+
+def similarity_incomparable(
+    g: LabeledGraph,
+    g_prime: LabeledGraph,
+    query: LabeledGraph,
+    measures: Iterable["str | DistanceMeasure"] | None = None,
+    tolerance: float = 0.0,
+) -> bool:
+    """Neither graph similarity-dominates the other in the context of ``query``."""
+    vector_g = compound_similarity(g, query, measures).values
+    vector_g_prime = compound_similarity(g_prime, query, measures).values
+    return not dominates(vector_g, vector_g_prime, tolerance) and not dominates(
+        vector_g_prime, vector_g, tolerance
+    )

@@ -1,0 +1,97 @@
+"""Human-readable explanations of skyline membership.
+
+The paper argues each answer graph should be "provided to the user with a
+vector of scores showing different similarities pertaining to different
+features". This module goes one step further and explains *why* a graph
+is or is not in the answer set:
+
+* skyline members: which dimensions make them non-dominated (for each
+  other graph, a dimension where they are strictly better);
+* rejected graphs: their dominators, with the per-dimension margins.
+
+Used by the walkthrough example and handy when debugging measure choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gss import SkylineResult
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Domination:
+    """One dominator with its per-dimension margins (positive = better)."""
+
+    dominator: str
+    margins: tuple[float, ...]
+
+
+@dataclass
+class MembershipExplanation:
+    """Why one graph is in (or out of) the similarity skyline."""
+
+    graph: str
+    in_skyline: bool
+    vector: tuple[float, ...]
+    measures: tuple[str, ...]
+    dominators: list[Domination]
+
+    def narrative(self) -> str:
+        """A short plain-text explanation."""
+        values = ", ".join(
+            f"{name}={value:.3g}" for name, value in zip(self.measures, self.vector)
+        )
+        if self.in_skyline:
+            return (
+                f"{self.graph} (GCS: {values}) is in the skyline: no database "
+                "graph is at least as similar on every dimension and strictly "
+                "more similar on one."
+            )
+        lines = [f"{self.graph} (GCS: {values}) is NOT in the skyline:"]
+        for domination in self.dominators:
+            strict = [
+                f"{name} by {margin:.3g}"
+                for name, margin in zip(self.measures, domination.margins)
+                if margin > 0
+            ]
+            lines.append(
+                f"  dominated by {domination.dominator} "
+                f"(strictly better on {', '.join(strict)})"
+            )
+        return "\n".join(lines)
+
+
+def explain_membership(result: SkylineResult, name: str) -> MembershipExplanation:
+    """Explain the skyline status of the graph called ``name``.
+
+    Raises :class:`~repro.errors.QueryError` when no graph of the result
+    carries that name.
+    """
+    names = [graph.name or f"g{i + 1}" for i, graph in enumerate(result.graphs)]
+    try:
+        index = names.index(name)
+    except ValueError:
+        raise QueryError(
+            f"no graph named {name!r} in the result (have: {', '.join(names)})"
+        ) from None
+    vector = result.vectors[index].values
+    dominators = []
+    for j in result.dominators_of(index):
+        other = result.vectors[j].values
+        margins = tuple(v - o for v, o in zip(vector, other))
+        dominators.append(Domination(dominator=names[j], margins=margins))
+    return MembershipExplanation(
+        graph=names[index],
+        in_skyline=index in set(result.skyline_indices),
+        vector=vector,
+        measures=result.measures,
+        dominators=dominators,
+    )
+
+
+def explain_all(result: SkylineResult) -> list[MembershipExplanation]:
+    """Explanations for every graph of the result, in database order."""
+    names = [graph.name or f"g{i + 1}" for i, graph in enumerate(result.graphs)]
+    return [explain_membership(result, name) for name in names]

@@ -1,0 +1,80 @@
+"""Graph Compound Similarity — GCS vectors (Definition 11).
+
+``GCS(g, q) = (Dist_1(g, q), ..., Dist_d(g, q))``: a d-dimensional vector
+of local distance measures, each capturing similarity w.r.t. one facet of
+graph structure. This module computes single vectors and matrices of
+vectors, sharing a :class:`~repro.measures.base.PairContext` per pair so
+that measures with common sub-problems (MCS for both ``DistMcs`` and
+``DistGu``) never solve them twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import (
+    DistanceMeasure,
+    PairContext,
+    default_measures,
+    measure_names,
+    resolve_measures,
+)
+
+
+@dataclass(frozen=True)
+class CompoundSimilarity:
+    """One GCS vector together with the measure names that produced it."""
+
+    values: tuple[float, ...]
+    measures: tuple[str, ...]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+    def as_dict(self) -> dict[str, float]:
+        """Mapping ``measure name -> distance value``."""
+        return dict(zip(self.measures, self.values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value:.3g}" for name, value in zip(self.measures, self.values)
+        )
+        return f"GCS({inner})"
+
+
+def compound_similarity(
+    graph: LabeledGraph,
+    query: LabeledGraph,
+    measures: Iterable["str | DistanceMeasure"] | None = None,
+    context: PairContext | None = None,
+) -> CompoundSimilarity:
+    """``GCS(graph, query)`` under the given measure vector.
+
+    ``measures`` defaults to the paper's ``(DistEd, DistMcs, DistGu)``.
+    """
+    resolved = default_measures() if measures is None else resolve_measures(measures)
+    if context is None:
+        context = PairContext(graph, query)
+    values = tuple(measure.distance(graph, query, context) for measure in resolved)
+    return CompoundSimilarity(values=values, measures=measure_names(resolved))
+
+
+def gcs_matrix(
+    graphs: Sequence[LabeledGraph],
+    query: LabeledGraph,
+    measures: Iterable["str | DistanceMeasure"] | None = None,
+) -> list[CompoundSimilarity]:
+    """GCS vectors of every graph against ``query`` (one context per pair)."""
+    resolved = default_measures() if measures is None else resolve_measures(measures)
+    return [
+        compound_similarity(graph, query, resolved, PairContext(graph, query))
+        for graph in graphs
+    ]

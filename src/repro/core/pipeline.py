@@ -1,0 +1,121 @@
+"""End-to-end query answering: GSS computation plus optional refinement.
+
+:class:`SimilarityQueryEngine` bundles a measure vector, a skyline
+algorithm choice and a diversity configuration into one object that can
+answer graph similarity queries over any sequence of graphs — the shape of
+the "system implementing it" the paper's conclusion announces. The
+database layer (:mod:`repro.db`) wraps this engine with storage, indexes
+and statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import DistanceMeasure, resolve_measures, default_measures
+from repro.core.diversity import DiversityResult, refine_by_diversity
+from repro.core.gss import SkylineResult, graph_similarity_skyline
+from repro.core.topk import TopKResult, top_k_by_measure
+
+
+@dataclass
+class QueryAnswer:
+    """A complete answer: the skyline, and the diverse subset if requested."""
+
+    skyline: SkylineResult
+    refinement: DiversityResult | None = None
+
+    @property
+    def graphs(self) -> list[LabeledGraph]:
+        """The answer set shown to the user (refined subset when available)."""
+        if self.refinement is not None:
+            return self.refinement.subset
+        return self.skyline.skyline
+
+
+class SimilarityQueryEngine:
+    """Answers graph similarity queries with the paper's skyline semantics.
+
+    Parameters
+    ----------
+    measures:
+        GCS dimensions (default: DistEd, DistMcs, DistGu).
+    diversity_measures:
+        Dimensions for Section-VII refinement (default: DistN-Ed, DistMcs,
+        DistGu).
+    algorithm:
+        Generic skyline algorithm to run over GCS vectors.
+    tolerance:
+        Dominance tolerance for floating-point measure values.
+    """
+
+    def __init__(
+        self,
+        measures: Iterable["str | DistanceMeasure"] | None = None,
+        diversity_measures: Iterable["str | DistanceMeasure"] | None = None,
+        algorithm: str = "bnl",
+        tolerance: float = 0.0,
+    ) -> None:
+        self.measures = (
+            default_measures() if measures is None else resolve_measures(measures)
+        )
+        self.diversity_measures = diversity_measures
+        self.algorithm = algorithm
+        self.tolerance = tolerance
+
+    def skyline(
+        self,
+        graphs: Sequence[LabeledGraph],
+        query: LabeledGraph,
+    ) -> SkylineResult:
+        """``GSS(D, q)`` under this engine's configuration."""
+        return graph_similarity_skyline(
+            graphs,
+            query,
+            measures=self.measures,
+            algorithm=self.algorithm,
+            tolerance=self.tolerance,
+        )
+
+    def query(
+        self,
+        graphs: Sequence[LabeledGraph],
+        query: LabeledGraph,
+        refine_k: int | None = None,
+        refine_method: str = "exhaustive",
+    ) -> QueryAnswer:
+        """Answer a similarity query, optionally refining to ``refine_k`` graphs.
+
+        When the skyline already has at most ``refine_k`` members the
+        refinement step is skipped (nothing to reduce).
+        """
+        result = self.skyline(graphs, query)
+        refinement = None
+        if refine_k is not None and refine_k < len(result):
+            refinement = refine_by_diversity(
+                result.skyline,
+                refine_k,
+                measures=self.diversity_measures,
+                method=refine_method,
+            )
+        return QueryAnswer(skyline=result, refinement=refinement)
+
+    def top_k(
+        self,
+        graphs: Sequence[LabeledGraph],
+        query: LabeledGraph,
+        k: int,
+        measure: "str | DistanceMeasure | None" = None,
+    ) -> TopKResult:
+        """Single-measure baseline retrieval (Section VI comparison).
+
+        ``measure`` defaults to this engine's first GCS dimension.
+        """
+        if measure is None:
+            if not self.measures:
+                raise QueryError("engine has no measures configured")
+            measure = self.measures[0]
+        return top_k_by_measure(graphs, query, measure, k)

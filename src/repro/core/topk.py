@@ -1,0 +1,64 @@
+"""Single-measure top-k retrieval — the baseline the paper argues against.
+
+Every prior similarity-search system the paper discusses (Grafil, C-Tree,
+Tale, Shang et al.) ranks by *one* scalar measure. This module implements
+that retrieval mode so the Section-VI comparison can be reproduced: with
+k = 3 under ``DistEd``, graph ``g3`` is returned to the user although the
+skyline rejects it (``g5`` does better on every dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import DistanceMeasure, PairContext, get_measure
+
+
+@dataclass
+class TopKResult:
+    """Ranked single-measure retrieval result."""
+
+    query: LabeledGraph
+    measure: str
+    k: int
+    ranking: list[tuple[int, float]]  # (database index, distance), best first
+
+    @property
+    def indices(self) -> list[int]:
+        """Database indices of the k best graphs, best first."""
+        return [index for index, _ in self.ranking]
+
+    def graphs(self, database: Sequence[LabeledGraph]) -> list[LabeledGraph]:
+        """Resolve the ranked indices against the database they came from."""
+        return [database[index] for index in self.indices]
+
+
+def top_k_by_measure(
+    graphs: Sequence[LabeledGraph],
+    query: LabeledGraph,
+    measure: "str | DistanceMeasure",
+    k: int,
+) -> TopKResult:
+    """The ``k`` graphs closest to ``query`` under a single measure.
+
+    Ties are broken by database order (deterministic). This is the
+    retrieval model of single-index similarity systems; contrast with
+    :func:`repro.core.gss.graph_similarity_skyline`.
+    """
+    if k < 1:
+        raise QueryError("k must be at least 1")
+    resolved = get_measure(measure)
+    scored = [
+        (index, resolved.distance(graph, query, PairContext(graph, query)))
+        for index, graph in enumerate(graphs)
+    ]
+    scored.sort(key=lambda item: (item[1], item[0]))
+    return TopKResult(
+        query=query,
+        measure=resolved.name,
+        k=k,
+        ranking=scored[:k],
+    )

@@ -1,0 +1,129 @@
+"""Synthetic workloads for the experiments the paper announces (Sec. VIII).
+
+The paper closes with "We plan to conduct some experiments on real-life
+data"; the canonical datasets of this literature (AIDS antiviral screen,
+chemical compounds) are small labeled graphs with a handful of atom types
+and bond kinds. :func:`molecule_like_graph` generates structurally similar
+synthetic molecules — connected sparse graphs over an atom-like alphabet
+with realistic degree caps — and :func:`SyntheticWorkload` packages a
+database plus query set built from mutation neighborhoods (graphs at known
+edit radii from the queries) together with distractor graphs, the standard
+evaluation workload for graph similarity search.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.errors import DatasetError
+from repro.graph.generators import mutate, random_labeled_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+#: Atom-like vertex alphabet (frequencies roughly chemistry-shaped).
+ATOMS: tuple[str, ...] = ("C", "C", "C", "N", "O", "S")
+#: Bond-like edge alphabet.
+BONDS: tuple[str, ...] = ("single", "single", "double")
+
+
+def molecule_like_graph(
+    n_vertices: int,
+    seed: int | random.Random | None = None,
+    name: str | None = None,
+) -> LabeledGraph:
+    """A connected, sparse, molecule-like labeled graph.
+
+    Edge count is sampled between ``n-1`` (tree) and roughly ``1.3 n``
+    (a few rings), mirroring chemical-compound datasets.
+    """
+    if n_vertices < 2:
+        raise DatasetError("molecules need at least 2 atoms")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    max_extra = max(1, n_vertices // 3)
+    n_edges = (n_vertices - 1) + rng.randint(0, max_extra)
+    n_edges = min(n_edges, n_vertices * (n_vertices - 1) // 2)
+    return random_labeled_graph(
+        n_vertices,
+        n_edges,
+        vertex_labels=ATOMS,
+        edge_labels=BONDS,
+        seed=rng,
+        connected=True,
+        name=name,
+    )
+
+
+@dataclass
+class SyntheticWorkload:
+    """A database + query set with known construction provenance.
+
+    Attributes
+    ----------
+    database:
+        All graphs, shuffled (mutants and distractors interleaved).
+    queries:
+        The query graphs.
+    provenance:
+        For each database index: ``("mutant", query_index, radius)`` or
+        ``("distractor", -1, -1)`` — lets benches report result quality
+        against construction ground truth.
+    """
+
+    database: list[LabeledGraph]
+    queries: list[LabeledGraph]
+    provenance: list[tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of database graphs."""
+        return len(self.database)
+
+
+def make_workload(
+    n_graphs: int,
+    n_queries: int = 1,
+    query_size: int = 8,
+    mutant_fraction: float = 0.5,
+    radius: tuple[int, int] = (1, 5),
+    seed: int | None = 7,
+) -> SyntheticWorkload:
+    """Build a synthetic similarity-search workload.
+
+    ``mutant_fraction`` of the database consists of mutants of the queries
+    at edit radii drawn from ``radius``; the rest are independent
+    distractor molecules of comparable size.
+    """
+    if not 0.0 <= mutant_fraction <= 1.0:
+        raise DatasetError("mutant_fraction must be within [0, 1]")
+    if n_graphs < 1 or n_queries < 1:
+        raise DatasetError("workload needs at least one graph and one query")
+    rng = random.Random(seed)
+    queries = [
+        molecule_like_graph(query_size, seed=rng, name=f"query-{i}")
+        for i in range(n_queries)
+    ]
+    entries: list[tuple[LabeledGraph, tuple[str, int, int]]] = []
+    n_mutants = round(n_graphs * mutant_fraction)
+    for index in range(n_mutants):
+        query_index = rng.randrange(n_queries)
+        distance = rng.randint(*radius)
+        mutant = mutate(
+            queries[query_index],
+            distance,
+            vertex_labels=ATOMS,
+            edge_labels=BONDS,
+            seed=rng,
+            name=f"mutant-{index}",
+        )
+        entries.append((mutant, ("mutant", query_index, distance)))
+    for index in range(n_graphs - n_mutants):
+        size = max(3, query_size + rng.randint(-2, 2))
+        graph = molecule_like_graph(size, seed=rng, name=f"distractor-{index}")
+        entries.append((graph, ("distractor", -1, -1)))
+    rng.shuffle(entries)
+    return SyntheticWorkload(
+        database=[graph for graph, _ in entries],
+        queries=queries,
+        provenance=[origin for _, origin in entries],
+    )

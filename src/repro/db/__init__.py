@@ -1,0 +1,35 @@
+"""Graph-database layer: storage, feature index, pruning executor.
+
+Wraps the core GSS computation with the machinery a database system needs:
+an id-addressed store with iso-deduplication, a feature index providing
+sound lower bounds on the paper's measures, an executor that prunes
+never-in-the-skyline candidates before running exact solvers, and query
+statistics making the savings measurable.
+"""
+
+from repro.db.database import GraphDatabase, StoredGraph
+from repro.db.index import FeatureIndex
+from repro.db.stats import PhaseTimer, QueryStats
+from repro.db.executor import ExecutionResult, SkylineExecutor
+from repro.db.cache import QueryCache
+from repro.db.persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+
+__all__ = [
+    "GraphDatabase",
+    "StoredGraph",
+    "FeatureIndex",
+    "QueryStats",
+    "PhaseTimer",
+    "ExecutionResult",
+    "SkylineExecutor",
+    "QueryCache",
+    "database_to_dict",
+    "database_from_dict",
+    "save_database",
+    "load_database",
+]

@@ -1,0 +1,90 @@
+"""Pairwise-computation cache for repeated queries.
+
+Interactive sessions issue many queries against the same database, often
+re-using query graphs (refinement after inspection, parameter tweaks).
+:class:`QueryCache` memoises exact GCS vectors keyed by
+``(database graph id, query canonical hash, measure names)``, with an LRU
+bound so long sessions cannot grow without limit. The executor consults
+it transparently when constructed with ``cache=``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.graph.canonical import canonical_hash
+from repro.graph.labeled_graph import LabeledGraph
+
+_Key = tuple[int, str, tuple[str, ...]]
+
+
+class QueryCache:
+    """Bounded LRU cache of exact GCS vectors."""
+
+    def __init__(self, max_entries: int = 50_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[_Key, tuple[float, ...]] = OrderedDict()
+        self._query_hashes: dict[int, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def query_hash(self, query: LabeledGraph) -> str:
+        """Canonical hash of the query (memoised per object identity)."""
+        key = id(query)
+        if key not in self._query_hashes:
+            self._query_hashes[key] = canonical_hash(query)
+        return self._query_hashes[key]
+
+    def get(
+        self,
+        graph_id: int,
+        query_hash: str,
+        measures: tuple[str, ...],
+    ) -> tuple[float, ...] | None:
+        """Cached vector, or ``None``; refreshes LRU position on hit."""
+        key = (graph_id, query_hash, measures)
+        vector = self._entries.get(key)
+        if vector is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return vector
+
+    def put(
+        self,
+        graph_id: int,
+        query_hash: str,
+        measures: tuple[str, ...],
+        vector: tuple[float, ...],
+    ) -> None:
+        """Store a vector, evicting the least recently used beyond the cap."""
+        key = (graph_id, query_hash, measures)
+        self._entries[key] = vector
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate_graph(self, graph_id: int) -> None:
+        """Drop all entries of one database graph (after update/removal)."""
+        stale = [key for key in self._entries if key[0] == graph_id]
+        for key in stale:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        """Drop everything (statistics included)."""
+        self._entries.clear()
+        self._query_hashes.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

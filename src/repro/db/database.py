@@ -1,0 +1,145 @@
+"""In-memory graph database with stable ids and optional deduplication.
+
+The store the paper's queries run against: insertion-ordered graphs with
+integer ids, per-graph metadata, and iso-invariant duplicate detection via
+canonical hashing (hash collisions are resolved by an exact isomorphism
+check, so deduplication is always sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import DatasetError, VertexNotFoundError
+from repro.graph.canonical import canonical_hash
+from repro.graph.features import GraphFeatures
+from repro.graph.isomorphism import is_isomorphic
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass
+class StoredGraph:
+    """One database entry: the graph plus bookkeeping."""
+
+    graph_id: int
+    graph: LabeledGraph
+    features: GraphFeatures
+    iso_hash: str
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class GraphDatabase:
+    """An insertion-ordered collection of labeled graphs.
+
+    Graphs are copied on insert, so later mutation of the caller's object
+    cannot corrupt the index or the cached features.
+    """
+
+    def __init__(self, name: str = "graphdb") -> None:
+        self.name = name
+        self._entries: dict[int, StoredGraph] = {}
+        self._by_hash: dict[str, list[int]] = {}
+        self._next_id = 0
+
+    @classmethod
+    def from_graphs(
+        cls,
+        graphs: Iterable[LabeledGraph],
+        name: str = "graphdb",
+        deduplicate: bool = False,
+    ) -> "GraphDatabase":
+        """Bulk-load a database (optionally dropping isomorphic duplicates)."""
+        database = cls(name=name)
+        for graph in graphs:
+            if deduplicate and database.find_isomorphic(graph) is not None:
+                continue
+            database.insert(graph)
+        return database
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        graph: LabeledGraph,
+        metadata: Mapping[str, object] | None = None,
+    ) -> int:
+        """Store a copy of ``graph``; returns its id."""
+        entry = StoredGraph(
+            graph_id=self._next_id,
+            graph=graph.copy(),
+            features=GraphFeatures.of(graph),
+            iso_hash=canonical_hash(graph),
+            metadata=dict(metadata) if metadata else {},
+        )
+        self._entries[entry.graph_id] = entry
+        self._by_hash.setdefault(entry.iso_hash, []).append(entry.graph_id)
+        self._next_id += 1
+        return entry.graph_id
+
+    def remove(self, graph_id: int) -> None:
+        """Delete the graph with ``graph_id``."""
+        entry = self._entries.pop(graph_id, None)
+        if entry is None:
+            raise DatasetError(f"graph id {graph_id} is not in the database")
+        bucket = self._by_hash[entry.iso_hash]
+        bucket.remove(graph_id)
+        if not bucket:
+            del self._by_hash[entry.iso_hash]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, graph_id: int) -> LabeledGraph:
+        """The graph stored under ``graph_id``."""
+        try:
+            return self._entries[graph_id].graph
+        except KeyError:
+            raise DatasetError(f"graph id {graph_id} is not in the database") from None
+
+    def entry(self, graph_id: int) -> StoredGraph:
+        """Full entry (graph + features + metadata) for ``graph_id``."""
+        try:
+            return self._entries[graph_id]
+        except KeyError:
+            raise DatasetError(f"graph id {graph_id} is not in the database") from None
+
+    def ids(self) -> list[int]:
+        """All graph ids, in insertion order."""
+        return list(self._entries)
+
+    def graphs(self) -> list[LabeledGraph]:
+        """All graphs, in insertion order."""
+        return [entry.graph for entry in self._entries.values()]
+
+    def entries(self) -> Iterator[StoredGraph]:
+        """Iterate over stored entries, in insertion order."""
+        return iter(self._entries.values())
+
+    def find_isomorphic(self, graph: LabeledGraph) -> int | None:
+        """Id of a stored graph isomorphic to ``graph``, or ``None``.
+
+        Uses the canonical hash as a pre-filter and confirms with the exact
+        isomorphism test, so the answer is never a false positive.
+        """
+        for graph_id in self._by_hash.get(canonical_hash(graph), []):
+            if is_isomorphic(self._entries[graph_id].graph, graph):
+                return graph_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, graph_id: object) -> bool:
+        return graph_id in self._entries
+
+    def __iter__(self) -> Iterator[tuple[int, LabeledGraph]]:
+        for graph_id, entry in self._entries.items():
+            yield graph_id, entry.graph
+
+    def __repr__(self) -> str:
+        return f"<GraphDatabase {self.name!r}: {len(self)} graphs>"

@@ -1,0 +1,304 @@
+"""Query executor: index-pruned evaluation of similarity skylines.
+
+Naively, ``GSS(D, q)`` costs one exact GED and one exact MCS per database
+graph. The executor cuts this down with a sound optimisation:
+
+1. compute each graph's *optimistic* (lower-bound) GCS vector from index
+   features only — no solving;
+2. visit candidates in ascending order of their optimistic vector sum
+   (likely-similar graphs first, so strong dominators are found early);
+3. before evaluating a candidate exactly, check whether some already
+   evaluated exact vector Pareto-dominates the candidate's optimistic
+   vector. Because optimistic ≤ exact componentwise, domination of the
+   optimistic vector implies domination of the true vector — the candidate
+   can never be in the skyline and its exact evaluation is skipped;
+4. run a generic skyline algorithm over the surviving exact vectors.
+
+Pruned graphs never enter the skyline, so the result is identical to the
+unpruned computation (property-tested); only the work differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.features import GraphFeatures
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import (
+    DistanceMeasure,
+    PairContext,
+    default_measures,
+    measure_names,
+    resolve_measures,
+)
+from repro.core.diversity import DiversityResult, refine_by_diversity
+from repro.core.gcs import CompoundSimilarity
+from repro.db.database import GraphDatabase
+from repro.db.index import FeatureIndex
+from repro.db.stats import PhaseTimer, QueryStats
+from repro.skyline import skyline as vector_skyline
+from repro.skyline.utils import dominates
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of an executed skyline query over a database.
+
+    ``evaluated`` maps graph id to its exact GCS vector (pruned ids are
+    absent); ``skyline_ids`` are the Pareto-optimal ids.
+    """
+
+    query: LabeledGraph
+    measures: tuple[str, ...]
+    evaluated: dict[int, CompoundSimilarity]
+    skyline_ids: list[int]
+    stats: QueryStats
+    refinement: DiversityResult | None = None
+
+    def skyline_graphs(self, database: GraphDatabase) -> list[LabeledGraph]:
+        """Resolve the skyline ids against ``database``."""
+        return [database.get(graph_id) for graph_id in self.skyline_ids]
+
+
+class SkylineExecutor:
+    """Executes skyline queries over a :class:`GraphDatabase`.
+
+    Parameters
+    ----------
+    database:
+        The target database (indexed on construction).
+    measures:
+        GCS dimensions (default: the paper's three).
+    algorithm:
+        Generic skyline algorithm over exact vectors.
+    use_index:
+        Enable the lower-bound pruning described in the module docstring;
+        disabling it evaluates every graph (ablation A4).
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        measures: "tuple | list | None" = None,
+        algorithm: str = "bnl",
+        tolerance: float = 0.0,
+        use_index: bool = True,
+        cache: "QueryCache | None" = None,
+    ) -> None:
+        from repro.db.cache import QueryCache
+
+        self.database = database
+        self.measures: tuple[DistanceMeasure, ...] = (
+            default_measures() if measures is None else resolve_measures(measures)
+        )
+        self.algorithm = algorithm
+        self.tolerance = tolerance
+        self.use_index = use_index
+        self.cache = cache
+        self.index = FeatureIndex()
+        for entry in database.entries():
+            self.index.add(entry.graph_id, entry.features)
+
+    def _evaluate_pair(
+        self,
+        graph_id: int,
+        query: LabeledGraph,
+        names: tuple[str, ...],
+    ) -> tuple[tuple[float, ...], bool]:
+        """Exact GCS vector of (graph_id, query); True when cache-served."""
+        if self.cache is not None:
+            query_hash = self.cache.query_hash(query)
+            cached = self.cache.get(graph_id, query_hash, names)
+            if cached is not None:
+                return cached, True
+        graph = self.database.get(graph_id)
+        context = PairContext(graph, query)
+        values = tuple(
+            measure.distance(graph, query, context) for measure in self.measures
+        )
+        if self.cache is not None:
+            self.cache.put(graph_id, query_hash, names, values)
+        return values, False
+
+    def refresh_index(self) -> None:
+        """Re-sync the index after database mutations."""
+        self.index = FeatureIndex()
+        for entry in self.database.entries():
+            self.index.add(entry.graph_id, entry.features)
+
+    def execute(
+        self,
+        query: LabeledGraph,
+        refine_k: int | None = None,
+        refine_method: str = "exhaustive",
+    ) -> ExecutionResult:
+        """Compute ``GSS(D, q)``, optionally refined to ``refine_k`` graphs."""
+        stats = QueryStats(database_size=len(self.database))
+        query_features = GraphFeatures.of(query)
+        names = measure_names(self.measures)
+
+        with PhaseTimer(stats, "bounds"):
+            order = self._candidate_order(query_features)
+
+        evaluated: dict[int, CompoundSimilarity] = {}
+        exact_vectors: list[tuple[float, ...]] = []
+        with PhaseTimer(stats, "evaluate"):
+            for graph_id, optimistic in order:
+                stats.candidates_considered += 1
+                if self.use_index and any(
+                    dominates(vector, optimistic, self.tolerance)
+                    for vector in exact_vectors
+                ):
+                    stats.pruned_by_index += 1
+                    continue
+                values, from_cache = self._evaluate_pair(graph_id, query, names)
+                evaluated[graph_id] = CompoundSimilarity(values=values, measures=names)
+                exact_vectors.append(values)
+                if not from_cache:
+                    stats.exact_evaluations += 1
+
+        with PhaseTimer(stats, "skyline"):
+            ids = list(evaluated)
+            vectors = [evaluated[graph_id].values for graph_id in ids]
+            member_positions = vector_skyline(
+                vectors, algorithm=self.algorithm, tolerance=self.tolerance
+            )
+            skyline_ids = sorted(ids[position] for position in member_positions)
+        stats.skyline_size = len(skyline_ids)
+
+        refinement = None
+        if refine_k is not None and refine_k < len(skyline_ids):
+            with PhaseTimer(stats, "refine"):
+                refinement = refine_by_diversity(
+                    [self.database.get(graph_id) for graph_id in skyline_ids],
+                    refine_k,
+                    method=refine_method,
+                )
+        return ExecutionResult(
+            query=query,
+            measures=names,
+            evaluated=evaluated,
+            skyline_ids=skyline_ids,
+            stats=stats,
+            refinement=refinement,
+        )
+
+    def _candidate_order(
+        self, query_features: GraphFeatures
+    ) -> list[tuple[int, tuple[float, ...]]]:
+        """(id, optimistic vector) pairs, most promising candidates first."""
+        order = []
+        for graph_id in self.database.ids():
+            optimistic = self.index.optimistic_vector(
+                graph_id, query_features, self.measures
+            )
+            order.append((graph_id, optimistic))
+        order.sort(key=lambda item: (sum(item[1]), item[0]))
+        return order
+
+    def skyband_search(
+        self,
+        query: LabeledGraph,
+        k: int,
+    ) -> list[int]:
+        """Ids in the k-skyband of the GCS vectors (k = 1 is the skyline).
+
+        Pruning stays sound: a candidate whose *optimistic* vector is
+        dominated by ``k`` exact vectors is dominated by at least ``k``
+        graphs, and by transitivity so is anything it would have
+        dominated — skipping it cannot change skyband membership.
+        """
+        from repro.skyline.skyband import k_skyband
+
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        query_features = GraphFeatures.of(query)
+        order = self._candidate_order(query_features)
+        names = measure_names(self.measures)
+        evaluated_ids: list[int] = []
+        exact_vectors: list[tuple[float, ...]] = []
+        for graph_id, optimistic in order:
+            if self.use_index:
+                dominators = sum(
+                    1
+                    for vector in exact_vectors
+                    if dominates(vector, optimistic, self.tolerance)
+                )
+                if dominators >= k:
+                    continue
+            graph = self.database.get(graph_id)
+            context = PairContext(graph, query)
+            values = tuple(
+                measure.distance(graph, query, context) for measure in self.measures
+            )
+            evaluated_ids.append(graph_id)
+            exact_vectors.append(values)
+        member_positions = k_skyband(exact_vectors, k, tolerance=self.tolerance)
+        return sorted(evaluated_ids[position] for position in member_positions)
+
+    def top_k_search(
+        self,
+        query: LabeledGraph,
+        measure: "str | DistanceMeasure",
+        k: int,
+    ) -> list[tuple[int, float]]:
+        """Index-accelerated single-measure top-k (ids with distances).
+
+        Classic bound-based pruning: candidates are visited in ascending
+        lower-bound order; once ``k`` exact distances are known, any
+        candidate whose lower bound exceeds the current k-th best distance
+        can be skipped, and because bounds are sorted the scan stops at
+        the first such candidate. Results match
+        :func:`repro.core.topk.top_k_by_measure` exactly (ties broken by
+        id).
+        """
+        from repro.measures.base import get_measure
+
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        resolved = get_measure(measure)
+        query_features = GraphFeatures.of(query)
+        bounded = sorted(
+            (
+                (self.index.optimistic_vector(graph_id, query_features, (resolved,))[0],
+                 graph_id)
+                for graph_id in self.database.ids()
+            ),
+        )
+        best: list[tuple[float, int]] = []
+        for lower_bound, graph_id in bounded:
+            if self.use_index and len(best) >= k and lower_bound > best[-1][0]:
+                break  # every later candidate has an even larger bound
+            graph = self.database.get(graph_id)
+            distance = resolved.distance(graph, query, PairContext(graph, query))
+            best.append((distance, graph_id))
+            best.sort()
+            del best[k:]
+        return [(graph_id, distance) for distance, graph_id in best]
+
+    def threshold_search(
+        self,
+        query: LabeledGraph,
+        measure: "str | DistanceMeasure",
+        threshold: float,
+    ) -> list[tuple[int, float]]:
+        """Range query: ids (with distances) within ``threshold`` of ``query``.
+
+        Uses index lower bounds to skip provably-too-far graphs, then
+        verifies the survivors exactly. Results are sorted by distance.
+        """
+        from repro.measures.base import get_measure
+
+        resolved = get_measure(measure)
+        query_features = GraphFeatures.of(query)
+        candidates = self.index.threshold_candidates(
+            query_features, resolved, threshold
+        )
+        matches = []
+        for graph_id in candidates:
+            graph = self.database.get(graph_id)
+            distance = resolved.distance(graph, query, PairContext(graph, query))
+            if distance <= threshold:
+                matches.append((graph_id, distance))
+        matches.sort(key=lambda item: (item[1], item[0]))
+        return matches

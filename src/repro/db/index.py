@@ -1,0 +1,109 @@
+"""Feature index: sound lower bounds on GCS dimensions without solving.
+
+For the paper's three measures, cheap per-pair lower bounds exist from
+label-multiset features alone (:mod:`repro.graph.features`):
+
+* ``DistEd`` ≥ label-multiset assignment bound;
+* ``DistMcs`` / ``DistGu`` ≥ bounds from the edge-label overlap cap on
+  ``|mcs|``.
+
+The index stores each graph's features and, per query, produces an
+*optimistic* (lower-bound) GCS vector per graph. The executor can then
+prune a candidate whose optimistic vector is already Pareto-dominated by
+some exactly-evaluated vector — such a candidate can never enter the
+skyline, so skipping its exact GED/MCS is sound. The same bounds answer
+threshold (range) queries soundly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graph.features import (
+    GraphFeatures,
+    dist_gu_lower_bound,
+    dist_mcs_lower_bound,
+    edit_distance_lower_bound,
+)
+from repro.measures.base import DistanceMeasure
+
+
+def _normalized_edit_bound(f1: GraphFeatures, f2: GraphFeatures) -> float:
+    raw = edit_distance_lower_bound(f1, f2)
+    return raw / (1.0 + raw)
+
+
+#: Per-measure lower-bound functions over feature pairs. Measures without
+#: an entry get the trivial bound 0 (never pruned incorrectly).
+_BOUND_FUNCTIONS = {
+    "edit": edit_distance_lower_bound,
+    "edit-normalized": _normalized_edit_bound,
+    "mcs": dist_mcs_lower_bound,
+    "union": dist_gu_lower_bound,
+}
+
+
+class FeatureIndex:
+    """Maps graph ids to features and computes optimistic GCS vectors."""
+
+    def __init__(self) -> None:
+        self._features: dict[int, GraphFeatures] = {}
+
+    def add(self, graph_id: int, features: GraphFeatures) -> None:
+        """Register (or refresh) the features of ``graph_id``."""
+        self._features[graph_id] = features
+
+    def discard(self, graph_id: int) -> None:
+        """Remove ``graph_id`` from the index (no-op when absent)."""
+        self._features.pop(graph_id, None)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __contains__(self, graph_id: object) -> bool:
+        return graph_id in self._features
+
+    def features(self, graph_id: int) -> GraphFeatures:
+        """The stored features of ``graph_id``."""
+        return self._features[graph_id]
+
+    def optimistic_vector(
+        self,
+        graph_id: int,
+        query_features: GraphFeatures,
+        measures: Sequence[DistanceMeasure],
+    ) -> tuple[float, ...]:
+        """Componentwise lower bound on ``GCS(graph, query)``.
+
+        Guaranteed ≤ the exact vector on every dimension; dimensions whose
+        measure has no known bound contribute 0.
+        """
+        own = self._features[graph_id]
+        bounds = []
+        for measure in measures:
+            bound_function = _BOUND_FUNCTIONS.get(measure.name)
+            bounds.append(
+                0.0 if bound_function is None else float(bound_function(own, query_features))
+            )
+        return tuple(bounds)
+
+    def threshold_candidates(
+        self,
+        query_features: GraphFeatures,
+        measure: DistanceMeasure,
+        threshold: float,
+    ) -> list[int]:
+        """Ids whose lower bound under ``measure`` does not exceed ``threshold``.
+
+        A sound candidate set for range queries: every excluded graph
+        provably has distance > threshold. Without a bound function for the
+        measure, every id is a candidate.
+        """
+        bound_function = _BOUND_FUNCTIONS.get(measure.name)
+        if bound_function is None:
+            return list(self._features)
+        return [
+            graph_id
+            for graph_id, features in self._features.items()
+            if bound_function(features, query_features) <= threshold
+        ]

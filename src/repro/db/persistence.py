@@ -1,0 +1,81 @@
+"""Saving and loading graph databases as JSON documents.
+
+The on-disk format is a single JSON object::
+
+    {
+      "name": "compounds",
+      "entries": [
+        {"id": 0, "metadata": {...}, "graph": {<graph payload>}},
+        ...
+      ]
+    }
+
+Graph payloads are :func:`repro.graph.serialization.graph_to_dict` output,
+so ids/labels must be JSON-representable (strings/numbers). Loading
+re-inserts entries in stored order; original ids are preserved in the
+``"original_id"`` metadata key when they cannot be reassigned identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.db.database import GraphDatabase
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+
+
+def database_to_dict(database: GraphDatabase) -> dict[str, Any]:
+    """Plain-data payload for a whole database."""
+    return {
+        "name": database.name,
+        "entries": [
+            {
+                "id": entry.graph_id,
+                "metadata": entry.metadata,
+                "graph": graph_to_dict(entry.graph),
+            }
+            for entry in database.entries()
+        ],
+    }
+
+
+def database_from_dict(payload: dict[str, Any]) -> GraphDatabase:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    try:
+        database = GraphDatabase(name=payload.get("name", "graphdb"))
+        for entry in payload["entries"]:
+            graph_payload = dict(entry["graph"])
+            graph_payload["vertices"] = [tuple(v) for v in graph_payload["vertices"]]
+            graph_payload["edges"] = [tuple(e) for e in graph_payload["edges"]]
+            graph = graph_from_dict(graph_payload)
+            metadata = dict(entry.get("metadata", {}))
+            new_id = database.insert(graph, metadata=metadata)
+            if new_id != entry.get("id", new_id):
+                database.entry(new_id).metadata["original_id"] = entry["id"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed database payload: {exc}") from exc
+    return database
+
+
+def save_database(database: GraphDatabase, path: "str | Path") -> None:
+    """Write ``database`` to ``path`` as JSON."""
+    payload = database_to_dict(database)
+    try:
+        text = json.dumps(payload, indent=1)
+    except TypeError as exc:
+        raise SerializationError(
+            f"database contains non-JSON-serializable ids/labels: {exc}"
+        ) from exc
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def load_database(path: "str | Path") -> GraphDatabase:
+    """Read a database previously written by :func:`save_database`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid database JSON: {exc}") from exc
+    return database_from_dict(payload)

@@ -1,0 +1,60 @@
+"""Execution statistics for similarity-skyline queries.
+
+Collected by the executor and surfaced in benches: how many candidates the
+index pruned, how many exact evaluations ran, and wall-clock phase
+timings. The counters make the effect of the pruning ablation (bench A4)
+directly observable rather than inferred from timings alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryStats:
+    """Counters and timings for one executed query."""
+
+    database_size: int = 0
+    candidates_considered: int = 0
+    pruned_by_index: int = 0
+    exact_evaluations: int = 0
+    skyline_size: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of candidates skipped thanks to index bounds."""
+        if self.candidates_considered == 0:
+            return 0.0
+        return self.pruned_by_index / self.candidates_considered
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        timings = ", ".join(
+            f"{phase}={seconds * 1000:.1f}ms"
+            for phase, seconds in self.phase_seconds.items()
+        )
+        return (
+            f"n={self.database_size} evaluated={self.exact_evaluations} "
+            f"pruned={self.pruned_by_index} skyline={self.skyline_size} [{timings}]"
+        )
+
+
+class PhaseTimer:
+    """Context manager recording a phase duration into ``stats``."""
+
+    def __init__(self, stats: QueryStats, phase: str) -> None:
+        self._stats = stats
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        previous = self._stats.phase_seconds.get(self._phase, 0.0)
+        self._stats.phase_seconds[self._phase] = previous + elapsed

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class. More specific subclasses signal misuse of the graph type,
+invalid edit operations, or invalid query specifications.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors involving :class:`repro.graph.LabeledGraph`."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex id was referenced that is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DuplicateVertexError(GraphError, ValueError):
+    """A vertex id was inserted twice."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is already in the graph")
+        self.vertex = vertex
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """An edge was inserted twice (parallel edges are not supported)."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is already in the graph")
+        self.u = u
+        self.v = v
+
+
+class SelfLoopError(GraphError, ValueError):
+    """A self loop was inserted (the paper's graphs are simple graphs)."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"self loops are not supported (vertex {vertex!r})")
+        self.vertex = vertex
+
+
+class InvalidEditOperationError(ReproError, ValueError):
+    """An edit operation cannot be applied to the given graph."""
+
+
+class QueryError(ReproError, ValueError):
+    """An invalid similarity query specification was supplied."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset could not be built or validated."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A graph payload could not be (de)serialized."""

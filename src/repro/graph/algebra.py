@@ -1,0 +1,88 @@
+"""Set-theoretic operations on identity-aligned labeled graphs.
+
+Definition 10 measures similarity against "the size of the union of the
+two graphs in the set theoretic sense". For graphs sharing a vertex-id
+space (as in the paper's examples, where vertices are identified by their
+drawing position) these operations are plain set algebra on labeled
+vertices and labeled edges:
+
+* :func:`graph_union` — all vertices/edges of both (labels must agree on
+  shared elements);
+* :func:`graph_intersection` — vertices/edges present in both with equal
+  labels;
+* :func:`graph_difference` — ``g1``'s edges not in ``g2`` (plus their
+  endpoints).
+
+These are *id-aligned* operations — no isomorphism matching happens. For
+the label-preserving-matching notion of common structure use
+:mod:`repro.graph.mcs`. The identity ``|union| = |g1| + |g2| − |∩|``
+(edge counts) mirrors the denominator of ``SimGu`` when the best match is
+the id-alignment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def _check_label_agreement(g1: LabeledGraph, g2: LabeledGraph) -> None:
+    for vertex in g1.vertices():
+        if g2.has_vertex(vertex) and g1.vertex_label(vertex) != g2.vertex_label(vertex):
+            raise GraphError(
+                f"vertex {vertex!r} carries different labels "
+                f"({g1.vertex_label(vertex)!r} vs {g2.vertex_label(vertex)!r}); "
+                "id-aligned algebra requires agreement"
+            )
+    for u, v, label in g1.edges():
+        if g2.has_edge(u, v) and g2.edge_label(u, v) != label:
+            raise GraphError(
+                f"edge ({u!r}, {v!r}) carries different labels "
+                f"({label!r} vs {g2.edge_label(u, v)!r})"
+            )
+
+
+def graph_union(g1: LabeledGraph, g2: LabeledGraph,
+                name: str | None = None) -> LabeledGraph:
+    """The id-aligned union of two graphs (labels must agree on overlap)."""
+    _check_label_agreement(g1, g2)
+    union = g1.copy(name=name or "union")
+    for vertex in g2.vertices():
+        if not union.has_vertex(vertex):
+            union.add_vertex(vertex, g2.vertex_label(vertex))
+    for u, v, label in g2.edges():
+        if not union.has_edge(u, v):
+            union.add_edge(u, v, label)
+    return union
+
+
+def graph_intersection(g1: LabeledGraph, g2: LabeledGraph,
+                       name: str | None = None) -> LabeledGraph:
+    """The id-aligned intersection (shared vertices and edges, equal labels)."""
+    intersection = LabeledGraph(name=name or "intersection")
+    for vertex in g1.vertices():
+        if g2.has_vertex(vertex) and g1.vertex_label(vertex) == g2.vertex_label(vertex):
+            intersection.add_vertex(vertex, g1.vertex_label(vertex))
+    for u, v, label in g1.edges():
+        if (
+            intersection.has_vertex(u)
+            and intersection.has_vertex(v)
+            and g2.has_edge(u, v)
+            and g2.edge_label(u, v) == label
+        ):
+            intersection.add_edge(u, v, label)
+    return intersection
+
+
+def graph_difference(g1: LabeledGraph, g2: LabeledGraph,
+                     name: str | None = None) -> LabeledGraph:
+    """Edges of ``g1`` absent from ``g2`` (label-sensitive), with endpoints."""
+    difference = LabeledGraph(name=name or "difference")
+    for u, v, label in g1.edges():
+        shared = g2.has_edge(u, v) and g2.edge_label(u, v) == label
+        if not shared:
+            for endpoint in (u, v):
+                if not difference.has_vertex(endpoint):
+                    difference.add_vertex(endpoint, g1.vertex_label(endpoint))
+            difference.add_edge(u, v, label)
+    return difference

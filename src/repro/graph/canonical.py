@@ -1,0 +1,116 @@
+"""Isomorphism-invariant canonical forms and hashing.
+
+Used to deduplicate graphs (database ingestion, the reconstruction search)
+and to memoise pairwise computations. The canonical form is produced by
+iterated Weisfeiler–Leman color refinement over vertex and incident-edge
+labels, followed by an exact backtracking canonicalisation *within* color
+classes for small graphs, so that:
+
+* isomorphic graphs always share a canonical form (and hash);
+* non-isomorphic graphs virtually never collide (and a collision is
+  harmless for correctness wherever the form is used as a cache key
+  together with an exact isomorphism check).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Hashable
+
+from repro.graph.labeled_graph import LabeledGraph
+
+VertexId = Hashable
+
+
+def wl_colors(graph: LabeledGraph, rounds: int | None = None) -> dict[VertexId, str]:
+    """Stable Weisfeiler–Leman colors for every vertex.
+
+    Each round hashes a vertex's current color with the sorted multiset of
+    ``(edge label, neighbor color)`` pairs. ``rounds`` defaults to the
+    vertex count, by which point the partition is guaranteed stable.
+    """
+    colors = {
+        v: _digest(repr(graph.vertex_label(v))) for v in graph.vertices()
+    }
+    total_rounds = graph.order if rounds is None else rounds
+    for _ in range(total_rounds):
+        new_colors = {}
+        for v in graph.vertices():
+            signature = sorted(
+                (repr(graph.edge_label(v, n)), colors[n]) for n in graph.neighbors(v)
+            )
+            new_colors[v] = _digest(colors[v] + repr(signature))
+        if new_colors == colors:
+            break
+        colors = new_colors
+    return colors
+
+
+def canonical_form(graph: LabeledGraph) -> str:
+    """A string invariant under isomorphism, canonical for small graphs.
+
+    Vertices are ordered by (WL color, then exhaustively over ties via a
+    lexicographically-minimal adjacency encoding), and the labeled edge
+    list under that order is serialised.
+    """
+    colors = wl_colors(graph)
+    groups: dict[str, list[VertexId]] = {}
+    for v, color in colors.items():
+        groups.setdefault(color, []).append(v)
+    ordered_colors = sorted(groups)
+    best: str | None = None
+
+    # Backtrack over orderings that respect color classes, keeping the
+    # lexicographically smallest encoding. Color classes are almost always
+    # singletons after refinement, so this is cheap in practice.
+    def encode(order: list[VertexId]) -> str:
+        index = {v: i for i, v in enumerate(order)}
+        vertex_part = ",".join(repr(graph.vertex_label(v)) for v in order)
+        edges = sorted(
+            (min(index[u], index[v]), max(index[u], index[v]), repr(label))
+            for u, v, label in graph.edges()
+        )
+        return vertex_part + "|" + repr(edges)
+
+    def orderings(class_index: int, prefix: list[VertexId]) -> None:
+        nonlocal best
+        if class_index == len(ordered_colors):
+            encoding = encode(prefix)
+            if best is None or encoding < best:
+                best = encoding
+            return
+        members = groups[ordered_colors[class_index]]
+        for permutation in _permutations_capped(members):
+            orderings(class_index + 1, prefix + list(permutation))
+
+    orderings(0, [])
+    assert best is not None
+    return best
+
+
+def canonical_hash(graph: LabeledGraph) -> str:
+    """Short hex digest of :func:`canonical_form` (cache / index key)."""
+    return _digest(canonical_form(graph))
+
+
+_PERMUTATION_CAP = 6  # 6! = 720 orderings per color class at most
+
+
+def _permutations_capped(members: list[VertexId]):
+    """All permutations for small classes; one stable order for huge ones.
+
+    Falling back to a single deterministic order sacrifices canonicity (two
+    isomorphic graphs with enormous automorphism classes may get different
+    forms) but never correctness of the users of this module, which all pair
+    the hash with an exact isomorphism check.
+    """
+    import itertools
+
+    if len(members) <= _PERMUTATION_CAP:
+        yield from itertools.permutations(sorted(members, key=repr))
+    else:
+        yield tuple(sorted(members, key=repr))
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,88 @@
+"""Cheap iso-invariant graph features for index filtering.
+
+The database layer (S13) prunes candidates with features that bound the
+paper's distance measures from below:
+
+* size difference bounds ``DistEd`` (every edit changes at most one edge);
+* ``|mcs|`` is bounded above by the overlap of edge-label multisets, which
+  bounds ``DistMcs`` / ``DistGu`` from below.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """Summary statistics of a graph, comparable without the graph itself."""
+
+    order: int
+    size: int
+    vertex_labels: tuple[tuple[str, int], ...]
+    edge_labels: tuple[tuple[str, int], ...]
+    degree_sequence: tuple[int, ...]
+
+    @classmethod
+    def of(cls, graph: LabeledGraph) -> "GraphFeatures":
+        """Extract features from ``graph``."""
+        return cls(
+            order=graph.order,
+            size=graph.size,
+            vertex_labels=_freeze(graph.vertex_label_multiset()),
+            edge_labels=_freeze(graph.edge_label_multiset()),
+            degree_sequence=tuple(
+                sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+            ),
+        )
+
+    def vertex_label_counter(self) -> Counter:
+        """The vertex-label multiset as a :class:`collections.Counter`."""
+        return Counter(dict(self.vertex_labels))
+
+    def edge_label_counter(self) -> Counter:
+        """The edge-label multiset as a :class:`collections.Counter`."""
+        return Counter(dict(self.edge_labels))
+
+
+def _freeze(counter: Counter) -> tuple[tuple[str, int], ...]:
+    return tuple(sorted(((repr(k), c) for k, c in counter.items())))
+
+
+def edit_distance_lower_bound(f1: GraphFeatures, f2: GraphFeatures) -> float:
+    """Admissible ``DistEd`` lower bound from features alone (uniform costs)."""
+    vertex_part = _counter_bound(f1.vertex_label_counter(), f2.vertex_label_counter())
+    edge_part = _counter_bound(f1.edge_label_counter(), f2.edge_label_counter())
+    return float(vertex_part + edge_part)
+
+
+def mcs_upper_bound(f1: GraphFeatures, f2: GraphFeatures) -> int:
+    """Upper bound on ``|mcs|`` — shared edge-label stock caps any overlap."""
+    overlap = f1.edge_label_counter() & f2.edge_label_counter()
+    return sum(overlap.values())
+
+
+def dist_mcs_lower_bound(f1: GraphFeatures, f2: GraphFeatures) -> float:
+    """Lower bound on ``DistMcs`` given only features."""
+    denominator = max(f1.size, f2.size)
+    if denominator == 0:
+        return 0.0
+    return 1.0 - min(mcs_upper_bound(f1, f2), denominator) / denominator
+
+
+def dist_gu_lower_bound(f1: GraphFeatures, f2: GraphFeatures) -> float:
+    """Lower bound on ``DistGu`` given only features."""
+    mcs_cap = min(mcs_upper_bound(f1, f2), min(f1.size, f2.size))
+    union = f1.size + f2.size - mcs_cap
+    if union <= 0:
+        return 0.0
+    return 1.0 - mcs_cap / union
+
+
+def _counter_bound(counter1: Counter, counter2: Counter) -> float:
+    n1, n2 = sum(counter1.values()), sum(counter2.values())
+    overlap = sum((counter1 & counter2).values())
+    return abs(n1 - n2) + (min(n1, n2) - overlap)

@@ -1,0 +1,349 @@
+"""Exact graph edit distance (Definition 8).
+
+``DistEd(g1, g2)`` is the minimum total cost over all edit-operation
+sequences transforming ``g1`` into ``g2``. The solver below is a
+depth-first branch and bound over vertex assignments (DF-GED):
+
+* ``g1`` vertices are processed in a fixed order; each is either mapped to
+  an unused ``g2`` vertex (substitution) or deleted;
+* edge costs are charged incrementally — when both endpoints of an edge
+  have been processed its fate (substitution / deletion / insertion) is
+  known;
+* once every ``g1`` vertex is processed, the remaining ``g2`` vertices and
+  their incident edges are inserted;
+* an admissible lower bound built from vertex- and edge-label multisets
+  prunes the search, and a bipartite-assignment upper bound
+  (:mod:`repro.graph.ged_approx`) seeds the incumbent.
+
+The default :class:`~repro.graph.operations.UniformCostModel` reproduces
+the paper's uniform model, under which the distance is a metric and the
+values of Fig. 1 / Table III are integers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Hashable
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.operations import (
+    CostModel,
+    EdgeDeletion,
+    EdgeInsertion,
+    EdgeRelabeling,
+    EditPath,
+    UNIFORM_COSTS,
+    UniformCostModel,
+    VertexDeletion,
+    VertexInsertion,
+    VertexRelabeling,
+)
+
+VertexId = Hashable
+
+#: Mapping image used for deleted vertices.
+DELETED = None
+
+
+@dataclass
+class GedResult:
+    """Outcome of a graph-edit-distance computation.
+
+    Attributes
+    ----------
+    distance:
+        The (minimum, when ``optimal``) total edit cost.
+    mapping:
+        ``g1 vertex -> g2 vertex`` for substituted vertices and
+        ``g1 vertex -> None`` for deleted ones. Unlisted ``g2`` vertices are
+        insertions.
+    optimal:
+        ``False`` only when a ``node_limit`` stopped the search early; the
+        reported distance is then an upper bound.
+    expanded_nodes:
+        Number of search-tree nodes expanded (used by the ablation bench).
+    """
+
+    distance: float
+    mapping: dict[VertexId, VertexId | None]
+    optimal: bool
+    expanded_nodes: int
+
+
+def _multiset_bound(
+    counter1: Counter,
+    counter2: Counter,
+    indel: float,
+    mismatch: float,
+) -> float:
+    """Admissible assignment bound between two label multisets.
+
+    ``max(n1, n2) - overlap`` elements cannot be matched for free; each costs
+    at least ``min(mismatch, 2 * indel)`` when both sides still have stock,
+    and the size difference costs ``indel`` each.
+    """
+    n1, n2 = sum(counter1.values()), sum(counter2.values())
+    overlap = sum((counter1 & counter2).values())
+    paired_mismatches = min(n1, n2) - overlap
+    return abs(n1 - n2) * indel + paired_mismatches * min(mismatch, 2.0 * indel)
+
+
+class _DfGed:
+    """One depth-first branch-and-bound run."""
+
+    def __init__(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        costs: CostModel,
+        upper_bound: float | None,
+        node_limit: int | None,
+    ) -> None:
+        self.g1 = g1
+        self.g2 = g2
+        self.costs = costs
+        self.node_limit = node_limit
+        self.expanded = 0
+        # Process high-degree vertices first: their edge costs are decided
+        # early, which tightens pruning.
+        self.order = sorted(
+            g1.vertices(), key=lambda v: (-g1.degree(v), repr(v))
+        )
+        self.g2_vertices = list(g2.vertices())
+        self.best = float("inf") if upper_bound is None else float(upper_bound)
+        self.best_mapping: dict[VertexId, VertexId | None] = {}
+        self.uniform = isinstance(costs, UniformCostModel)
+        self.truncated = False
+
+    # -- lower bound ----------------------------------------------------
+    def _remaining_bound(self, level: int, used: set[VertexId]) -> float:
+        if not self.uniform:
+            return 0.0
+        indel = self.costs.indel_cost
+        mismatch = self.costs.mismatch_cost
+        rem1 = Counter(self.g1.vertex_label(v) for v in self.order[level:])
+        rem2 = Counter(
+            self.g2.vertex_label(w) for w in self.g2_vertices if w not in used
+        )
+        bound = _multiset_bound(rem1, rem2, indel, mismatch)
+        processed = set(self.order[:level])
+        open1 = Counter(
+            label
+            for u, v, label in self.g1.edges()
+            if u not in processed or v not in processed
+        )
+        open2 = Counter(
+            label
+            for u, v, label in self.g2.edges()
+            if u not in used or v not in used
+        )
+        return bound + _multiset_bound(open1, open2, indel, mismatch)
+
+    # -- incremental edge costs ------------------------------------------
+    def _substitution_cost(
+        self,
+        u: VertexId,
+        w: VertexId,
+        mapping: dict[VertexId, VertexId | None],
+    ) -> float:
+        cost = self.costs.vertex_substitution(
+            self.g1.vertex_label(u), self.g2.vertex_label(w)
+        )
+        for prev, image in mapping.items():
+            edge1 = self.g1.has_edge(u, prev)
+            edge2 = image is not DELETED and self.g2.has_edge(w, image)
+            if edge1 and edge2:
+                cost += self.costs.edge_substitution(
+                    self.g1.edge_label(u, prev), self.g2.edge_label(w, image)
+                )
+            elif edge1:
+                cost += self.costs.edge_deletion(self.g1.edge_label(u, prev))
+            elif edge2:
+                cost += self.costs.edge_insertion(self.g2.edge_label(w, image))
+        return cost
+
+    def _deletion_cost(
+        self, u: VertexId, mapping: dict[VertexId, VertexId | None]
+    ) -> float:
+        cost = self.costs.vertex_deletion(self.g1.vertex_label(u))
+        for prev in mapping:
+            if self.g1.has_edge(u, prev):
+                cost += self.costs.edge_deletion(self.g1.edge_label(u, prev))
+        return cost
+
+    def _completion_cost(self, used: set[VertexId]) -> float:
+        """Insert the untouched part of ``g2``."""
+        cost = 0.0
+        for w in self.g2_vertices:
+            if w not in used:
+                cost += self.costs.vertex_insertion(self.g2.vertex_label(w))
+        for a, b, label in self.g2.edges():
+            if a not in used or b not in used:
+                cost += self.costs.edge_insertion(label)
+        return cost
+
+    # -- search -----------------------------------------------------------
+    def run(self) -> GedResult:
+        self._extend(0, {}, set(), 0.0)
+        return GedResult(
+            distance=self.best,
+            mapping=dict(self.best_mapping),
+            optimal=not self.truncated,
+            expanded_nodes=self.expanded,
+        )
+
+    def _extend(
+        self,
+        level: int,
+        mapping: dict[VertexId, VertexId | None],
+        used: set[VertexId],
+        cost_so_far: float,
+    ) -> None:
+        if self.node_limit is not None and self.expanded >= self.node_limit:
+            self.truncated = True
+            return
+        self.expanded += 1
+        if level == len(self.order):
+            total = cost_so_far + self._completion_cost(used)
+            if total < self.best:
+                self.best = total
+                self.best_mapping = dict(mapping)
+            return
+        if cost_so_far + self._remaining_bound(level, used) >= self.best:
+            return
+        u = self.order[level]
+        branches: list[tuple[float, VertexId | None]] = []
+        for w in self.g2_vertices:
+            if w not in used:
+                branches.append((self._substitution_cost(u, w, mapping), w))
+        branches.append((self._deletion_cost(u, mapping), DELETED))
+        branches.sort(key=lambda item: (item[0], repr(item[1])))
+        for step_cost, w in branches:
+            new_cost = cost_so_far + step_cost
+            if new_cost >= self.best:
+                continue
+            mapping[u] = w
+            if w is not DELETED:
+                used.add(w)
+            self._extend(level + 1, mapping, used, new_cost)
+            if w is not DELETED:
+                used.discard(w)
+            del mapping[u]
+
+
+def graph_edit_distance(
+    g1: LabeledGraph,
+    g2: LabeledGraph,
+    costs: CostModel = UNIFORM_COSTS,
+    upper_bound: float | None = None,
+    node_limit: int | None = None,
+) -> GedResult:
+    """Exact ``DistEd(g1, g2)`` with the realising vertex mapping.
+
+    Parameters
+    ----------
+    costs:
+        Cost model; the default reproduces the paper's uniform model.
+    upper_bound:
+        Optional incumbent to start from. When omitted and the cost model is
+        uniform, a bipartite-assignment estimate seeds the search.
+    node_limit:
+        Optional cap on expanded nodes; when hit, the result carries
+        ``optimal=False`` and the distance is an upper bound.
+    """
+    seed = upper_bound
+    if seed is None:
+        # Local import: ged_approx builds on the same cost models but must
+        # stay importable without the exact solver.
+        from repro.graph.ged_approx import bipartite_ged
+
+        seed = bipartite_ged(g1, g2, costs=costs).distance + 1e-9
+    search = _DfGed(g1, g2, costs, seed, node_limit)
+    result = search.run()
+    if result.distance == float("inf"):  # pragma: no cover - defensive
+        raise RuntimeError("edit-distance search failed to find any assignment")
+    return result
+
+
+def ged(
+    g1: LabeledGraph,
+    g2: LabeledGraph,
+    costs: CostModel = UNIFORM_COSTS,
+) -> float:
+    """Shorthand for the exact distance value only."""
+    return graph_edit_distance(g1, g2, costs=costs).distance
+
+
+def edit_path_from_mapping(
+    g1: LabeledGraph,
+    g2: LabeledGraph,
+    mapping: dict[VertexId, VertexId | None],
+) -> EditPath:
+    """Materialise an explicit edit sequence realising ``mapping``.
+
+    The returned path applies to ``g1`` (deletions first, then relabelings,
+    then insertions) and produces a graph isomorphic to ``g2``. Vertices
+    inserted from ``g2`` keep their ``g2`` identifier unless it collides
+    with a surviving ``g1`` identifier, in which case a fresh tuple id
+    ``("ins", id)`` is used.
+    """
+    path = EditPath()
+    kept = {u: w for u, w in mapping.items() if w is not DELETED}
+    deleted = [u for u, w in mapping.items() if w is DELETED]
+    image_of = dict(kept)
+
+    # 1. Delete g1 edges that have no counterpart edge in g2.
+    for u, v, _label in list(g1.edges()):
+        u_img, v_img = image_of.get(u), image_of.get(v)
+        if u_img is None or v_img is None or not g2.has_edge(u_img, v_img):
+            path.append(EdgeDeletion(u, v))
+
+    # 2. Delete unmapped vertices (now isolated).
+    for u in deleted:
+        path.append(VertexDeletion(u))
+
+    # 3. Relabel surviving vertices and edges.
+    for u, w in kept.items():
+        if g1.vertex_label(u) != g2.vertex_label(w):
+            path.append(VertexRelabeling(u, g1.vertex_label(u), g2.vertex_label(w)))
+    for u, v, label in g1.edges():
+        u_img, v_img = image_of.get(u), image_of.get(v)
+        if u_img is not None and v_img is not None and g2.has_edge(u_img, v_img):
+            target_label = g2.edge_label(u_img, v_img)
+            if label != target_label:
+                path.append(EdgeRelabeling(u, v, label, target_label))
+
+    # 4. Insert g2-only vertices, avoiding id collisions with survivors.
+    survivors = set(kept)
+    reverse = {w: u for u, w in kept.items()}
+    inserted_id: dict[VertexId, VertexId] = {}
+    for w in g2.vertices():
+        if w in reverse:
+            continue
+        new_id = w if w not in survivors else ("ins", w)
+        inserted_id[w] = new_id
+        reverse[w] = new_id
+        path.append(VertexInsertion(new_id, g2.vertex_label(w)))
+
+    # 5. Insert g2 edges with no counterpart in g1.
+    for a, b, label in g2.edges():
+        u, v = reverse[a], reverse[b]
+        already = (
+            a not in inserted_id
+            and b not in inserted_id
+            and g1.has_edge(reverse_lookup_origin(a, kept), reverse_lookup_origin(b, kept))
+        )
+        if not already:
+            path.append(EdgeInsertion(u, v, label))
+    return path
+
+
+def reverse_lookup_origin(
+    image: VertexId, kept: dict[VertexId, VertexId]
+) -> VertexId | None:
+    """The ``g1`` vertex mapped onto ``image``, or ``None``."""
+    for u, w in kept.items():
+        if w == image:
+            return u
+    return None

@@ -1,0 +1,264 @@
+"""Graph edit operations and edit paths (Section IV-A of the paper).
+
+The paper's edit-distance model uses six elementary operations: insertion,
+deletion and relabeling of a vertex or an edge. Each operation knows how to
+apply itself to a :class:`~repro.graph.labeled_graph.LabeledGraph` (producing
+a new graph) and how to price itself under a :class:`CostModel`.
+
+The :class:`UniformCostModel` implements the paper's assumption: "the
+distance between two vertices/edges is 1 if they have different labels;
+otherwise it is 0", and insertions/deletions cost 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.errors import InvalidEditOperationError
+from repro.graph.labeled_graph import DEFAULT_EDGE_LABEL, LabeledGraph
+
+Label = Hashable
+VertexId = Hashable
+
+
+class CostModel:
+    """Prices elementary edit operations.
+
+    Subclasses may override any method; costs must be non-negative for the
+    exact GED solver's lower bounds to remain admissible.
+    """
+
+    def vertex_substitution(self, label_from: Label, label_to: Label) -> float:
+        """Cost of turning a vertex labeled ``label_from`` into ``label_to``."""
+        raise NotImplementedError
+
+    def vertex_deletion(self, label: Label) -> float:
+        """Cost of deleting a vertex labeled ``label``."""
+        raise NotImplementedError
+
+    def vertex_insertion(self, label: Label) -> float:
+        """Cost of inserting a vertex labeled ``label``."""
+        raise NotImplementedError
+
+    def edge_substitution(self, label_from: Label, label_to: Label) -> float:
+        """Cost of turning an edge labeled ``label_from`` into ``label_to``."""
+        raise NotImplementedError
+
+    def edge_deletion(self, label: Label) -> float:
+        """Cost of deleting an edge labeled ``label``."""
+        raise NotImplementedError
+
+    def edge_insertion(self, label: Label) -> float:
+        """Cost of inserting an edge labeled ``label``."""
+        raise NotImplementedError
+
+
+class UniformCostModel(CostModel):
+    """The paper's uniform cost model.
+
+    Substitution costs ``mismatch_cost`` when labels differ and 0 otherwise;
+    insertions and deletions cost ``indel_cost``. Defaults reproduce the
+    paper (both equal to 1).
+    """
+
+    def __init__(self, indel_cost: float = 1.0, mismatch_cost: float = 1.0) -> None:
+        if indel_cost < 0 or mismatch_cost < 0:
+            raise ValueError("costs must be non-negative")
+        self.indel_cost = float(indel_cost)
+        self.mismatch_cost = float(mismatch_cost)
+
+    def vertex_substitution(self, label_from: Label, label_to: Label) -> float:
+        return 0.0 if label_from == label_to else self.mismatch_cost
+
+    def vertex_deletion(self, label: Label) -> float:
+        return self.indel_cost
+
+    def vertex_insertion(self, label: Label) -> float:
+        return self.indel_cost
+
+    def edge_substitution(self, label_from: Label, label_to: Label) -> float:
+        return 0.0 if label_from == label_to else self.mismatch_cost
+
+    def edge_deletion(self, label: Label) -> float:
+        return self.indel_cost
+
+    def edge_insertion(self, label: Label) -> float:
+        return self.indel_cost
+
+
+#: Shared default instance of the paper's cost model.
+UNIFORM_COSTS = UniformCostModel()
+
+
+@dataclass(frozen=True)
+class EditOperation:
+    """Base class of the six elementary operations."""
+
+    def apply(self, graph: LabeledGraph) -> LabeledGraph:
+        """Return a new graph with this operation applied."""
+        clone = graph.copy()
+        self._apply_in_place(clone)
+        return clone
+
+    def _apply_in_place(self, graph: LabeledGraph) -> None:
+        raise NotImplementedError
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        """Price of this operation under ``costs``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VertexInsertion(EditOperation):
+    """Insert an isolated vertex."""
+
+    vertex: VertexId
+    label: Label
+
+    def _apply_in_place(self, graph: LabeledGraph) -> None:
+        if graph.has_vertex(self.vertex):
+            raise InvalidEditOperationError(f"vertex {self.vertex!r} already exists")
+        graph.add_vertex(self.vertex, self.label)
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        return costs.vertex_insertion(self.label)
+
+
+@dataclass(frozen=True)
+class VertexDeletion(EditOperation):
+    """Delete an isolated vertex (incident edges must be deleted first)."""
+
+    vertex: VertexId
+
+    def _apply_in_place(self, graph: LabeledGraph) -> None:
+        if not graph.has_vertex(self.vertex):
+            raise InvalidEditOperationError(f"vertex {self.vertex!r} does not exist")
+        if graph.degree(self.vertex) != 0:
+            raise InvalidEditOperationError(
+                f"vertex {self.vertex!r} still has incident edges"
+            )
+        graph.remove_vertex(self.vertex)
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        return costs.vertex_deletion(None)
+
+
+@dataclass(frozen=True)
+class VertexRelabeling(EditOperation):
+    """Replace a vertex label (a substitution with a different label)."""
+
+    vertex: VertexId
+    old_label: Label
+    new_label: Label
+
+    def _apply_in_place(self, graph: LabeledGraph) -> None:
+        if not graph.has_vertex(self.vertex):
+            raise InvalidEditOperationError(f"vertex {self.vertex!r} does not exist")
+        if graph.vertex_label(self.vertex) != self.old_label:
+            raise InvalidEditOperationError(
+                f"vertex {self.vertex!r} is not labeled {self.old_label!r}"
+            )
+        graph.relabel_vertex(self.vertex, self.new_label)
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        return costs.vertex_substitution(self.old_label, self.new_label)
+
+
+@dataclass(frozen=True)
+class EdgeInsertion(EditOperation):
+    """Insert an edge between two existing vertices."""
+
+    u: VertexId
+    v: VertexId
+    label: Label = DEFAULT_EDGE_LABEL
+
+    def _apply_in_place(self, graph: LabeledGraph) -> None:
+        if not graph.has_vertex(self.u) or not graph.has_vertex(self.v):
+            raise InvalidEditOperationError("both endpoints must exist")
+        if graph.has_edge(self.u, self.v):
+            raise InvalidEditOperationError(
+                f"edge ({self.u!r}, {self.v!r}) already exists"
+            )
+        graph.add_edge(self.u, self.v, self.label)
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        return costs.edge_insertion(self.label)
+
+
+@dataclass(frozen=True)
+class EdgeDeletion(EditOperation):
+    """Delete an existing edge."""
+
+    u: VertexId
+    v: VertexId
+
+    def _apply_in_place(self, graph: LabeledGraph) -> None:
+        if not graph.has_edge(self.u, self.v):
+            raise InvalidEditOperationError(
+                f"edge ({self.u!r}, {self.v!r}) does not exist"
+            )
+        graph.remove_edge(self.u, self.v)
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        return costs.edge_deletion(None)
+
+
+@dataclass(frozen=True)
+class EdgeRelabeling(EditOperation):
+    """Replace an edge label."""
+
+    u: VertexId
+    v: VertexId
+    old_label: Label
+    new_label: Label
+
+    def _apply_in_place(self, graph: LabeledGraph) -> None:
+        if not graph.has_edge(self.u, self.v):
+            raise InvalidEditOperationError(
+                f"edge ({self.u!r}, {self.v!r}) does not exist"
+            )
+        if graph.edge_label(self.u, self.v) != self.old_label:
+            raise InvalidEditOperationError(
+                f"edge ({self.u!r}, {self.v!r}) is not labeled {self.old_label!r}"
+            )
+        graph.relabel_edge(self.u, self.v, self.new_label)
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        return costs.edge_substitution(self.old_label, self.new_label)
+
+
+class EditPath:
+    """A sequence of edit operations, with the paper's additive cost ``c(s)``."""
+
+    def __init__(self, operations: Iterable[EditOperation] = ()) -> None:
+        self._operations: list[EditOperation] = list(operations)
+
+    @property
+    def operations(self) -> Sequence[EditOperation]:
+        """The operations, in application order."""
+        return tuple(self._operations)
+
+    def append(self, operation: EditOperation) -> None:
+        """Add one more operation at the end of the path."""
+        self._operations.append(operation)
+
+    def cost(self, costs: CostModel = UNIFORM_COSTS) -> float:
+        """Total cost ``c(s) = sum(c(e_op_i))`` (paper, Section IV-A)."""
+        return sum(operation.cost(costs) for operation in self._operations)
+
+    def apply(self, graph: LabeledGraph) -> LabeledGraph:
+        """Apply all operations in order, returning the transformed graph."""
+        current = graph.copy()
+        for operation in self._operations:
+            operation._apply_in_place(current)
+        return current
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self):
+        return iter(self._operations)
+
+    def __repr__(self) -> str:
+        return f"<EditPath: {len(self._operations)} operations>"

@@ -1,0 +1,110 @@
+"""Graph (de)serialization: dicts, JSON and a line-oriented text format.
+
+The dict payload is the source of truth::
+
+    {
+      "name": "g1",
+      "vertices": [[vertex_id, label], ...],
+      "edges": [[u, v, label], ...],
+    }
+
+JSON round-trips any graph whose ids and labels are JSON-representable
+(strings, numbers, booleans). The text format is a compact edge-list used
+by the examples::
+
+    # comment
+    v <id> <label>
+    e <u> <v> <label>
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def graph_to_dict(graph: LabeledGraph) -> dict[str, Any]:
+    """Plain-data payload for ``graph`` (see module docstring)."""
+    return {
+        "name": graph.name,
+        "vertices": [[v, graph.vertex_label(v)] for v in graph.vertices()],
+        "edges": [[u, v, label] for u, v, label in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: dict[str, Any]) -> LabeledGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        graph = LabeledGraph(name=payload.get("name"))
+        for vertex, label in payload["vertices"]:
+            graph.add_vertex(vertex, label)
+        for u, v, label in payload["edges"]:
+            graph.add_edge(u, v, label)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed graph payload: {exc}") from exc
+    return graph
+
+
+def graph_to_json(graph: LabeledGraph, **dumps_kwargs: Any) -> str:
+    """JSON string for ``graph``."""
+    try:
+        return json.dumps(graph_to_dict(graph), **dumps_kwargs)
+    except TypeError as exc:
+        raise SerializationError(
+            f"graph has ids/labels that are not JSON-serializable: {exc}"
+        ) from exc
+
+
+def graph_from_json(payload: str) -> LabeledGraph:
+    """Rebuild a graph from :func:`graph_to_json` output.
+
+    JSON has no tuples, so ids/labels that were tuples come back as lists;
+    stick to strings and numbers for full fidelity.
+    """
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    data["vertices"] = [tuple(item) for item in data.get("vertices", [])]
+    data["edges"] = [tuple(item) for item in data.get("edges", [])]
+    return graph_from_dict(data)
+
+
+def graph_to_text(graph: LabeledGraph) -> str:
+    """Line-oriented edge-list encoding (ids and labels become strings)."""
+    lines = []
+    if graph.name:
+        lines.append(f"# {graph.name}")
+    for v in graph.vertices():
+        lines.append(f"v {v} {graph.vertex_label(v)}")
+    for u, v, label in graph.edges():
+        lines.append(f"e {u} {v} {label}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_text(payload: str, name: str | None = None) -> LabeledGraph:
+    """Parse the text format (all ids and labels are read as strings)."""
+    graph = LabeledGraph(name=name)
+    for line_number, raw in enumerate(payload.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "v" and len(parts) == 3:
+                graph.add_vertex(parts[1], parts[2])
+            elif parts[0] == "e" and len(parts) == 4:
+                graph.add_edge(parts[1], parts[2], parts[3])
+            else:
+                raise SerializationError(
+                    f"line {line_number}: expected 'v <id> <label>' or "
+                    f"'e <u> <v> <label>', got {raw!r}"
+                )
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(f"line {line_number}: {exc}") from exc
+    return graph

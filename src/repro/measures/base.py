@@ -1,0 +1,172 @@
+"""Distance-measure abstraction for graph compound similarity.
+
+The paper's GCS (Definition 11) is a vector of *local distance measures*.
+Here a measure is an object with a ``distance(g1, g2)`` method returning a
+non-negative float (smaller = more similar). Measures advertise whether
+they are normalized to [0, 1] and whether they are metrics.
+
+Because several measures share expensive sub-computations (both ``DistMcs``
+and ``DistGu`` need the maximum common subgraph), measures accept an
+optional :class:`PairContext` that lazily computes and memoises the MCS and
+the exact GED for one graph pair. The database executor builds one context
+per pair so nothing is solved twice.
+
+A small registry maps measure names to factories so queries can be
+specified with plain strings (``measures=("edit", "mcs", "union")``).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.ged import GedResult, graph_edit_distance
+from repro.graph.mcs import McsResult, maximum_common_subgraph
+from repro.graph.operations import CostModel, UNIFORM_COSTS
+
+
+class PairContext:
+    """Lazy, memoised sub-computations for one ordered graph pair."""
+
+    def __init__(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        costs: CostModel = UNIFORM_COSTS,
+    ) -> None:
+        self.g1 = g1
+        self.g2 = g2
+        self.costs = costs
+        self._mcs: McsResult | None = None
+        self._ged: GedResult | None = None
+
+    @property
+    def mcs(self) -> McsResult:
+        """Maximum common connected subgraph (computed once)."""
+        if self._mcs is None:
+            self._mcs = maximum_common_subgraph(self.g1, self.g2)
+        return self._mcs
+
+    @property
+    def ged(self) -> GedResult:
+        """Exact graph edit distance (computed once)."""
+        if self._ged is None:
+            self._ged = graph_edit_distance(self.g1, self.g2, costs=self.costs)
+        return self._ged
+
+
+class DistanceMeasure(abc.ABC):
+    """A local graph distance measure (one GCS dimension).
+
+    Attributes
+    ----------
+    name:
+        Registry key and display name.
+    normalized:
+        Whether values are guaranteed to lie in ``[0, 1]``.
+    is_metric:
+        Whether the measure satisfies the metric axioms (the paper cites
+        proofs for ``DistMcs`` and ``DistGu``; the uniform-cost edit
+        distance is a metric as well).
+    """
+
+    name: str = "abstract"
+    normalized: bool = False
+    is_metric: bool = False
+
+    @abc.abstractmethod
+    def distance(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+    ) -> float:
+        """Distance between ``g1`` and ``g2`` (smaller = more similar)."""
+
+    def __call__(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+    ) -> float:
+        return self.distance(g1, g2, context)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: dict[str, Callable[[], DistanceMeasure]] = {}
+
+
+def register_measure(name: str, factory: Callable[[], DistanceMeasure]) -> None:
+    """Register a measure factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def available_measures() -> list[str]:
+    """Names of every registered measure."""
+    return sorted(_REGISTRY)
+
+
+def get_measure(spec: "str | DistanceMeasure") -> DistanceMeasure:
+    """Resolve a measure instance from a name or pass an instance through."""
+    if isinstance(spec, DistanceMeasure):
+        return spec
+    try:
+        factory = _REGISTRY[spec]
+    except KeyError:
+        raise QueryError(
+            f"unknown measure {spec!r}; available: {', '.join(available_measures())}"
+        ) from None
+    return factory()
+
+
+def resolve_measures(
+    specs: Iterable["str | DistanceMeasure"],
+) -> tuple[DistanceMeasure, ...]:
+    """Resolve a sequence of measure specs, rejecting the empty vector."""
+    measures = tuple(get_measure(spec) for spec in specs)
+    if not measures:
+        raise QueryError("a compound similarity needs at least one measure")
+    return measures
+
+
+def default_measures() -> tuple[DistanceMeasure, ...]:
+    """The paper's d = 3 instantiation: (DistEd, DistMcs, DistGu)."""
+    return resolve_measures(("edit", "mcs", "union"))
+
+
+def diversity_measures() -> tuple[DistanceMeasure, ...]:
+    """Section VII's diversity dimensions: (DistN-Ed, DistMcs, DistGu)."""
+    return resolve_measures(("edit-normalized", "mcs", "union"))
+
+
+class FunctionMeasure(DistanceMeasure):
+    """Adapter turning a plain ``f(g1, g2) -> float`` into a measure."""
+
+    def __init__(
+        self,
+        function: Callable[[LabeledGraph, LabeledGraph], float],
+        name: str,
+        normalized: bool = False,
+        is_metric: bool = False,
+    ) -> None:
+        self._function = function
+        self.name = name
+        self.normalized = normalized
+        self.is_metric = is_metric
+
+    def distance(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+    ) -> float:
+        return float(self._function(g1, g2))
+
+
+def measure_names(measures: Sequence[DistanceMeasure]) -> tuple[str, ...]:
+    """Display names of a measure vector (used by reports and results)."""
+    return tuple(measure.name for measure in measures)

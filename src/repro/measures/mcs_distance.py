@@ -1,0 +1,45 @@
+"""``DistMcs`` — the Bunke–Shearer MCS-based distance (Definition 9).
+
+``SimMcs(g1, g2) = |mcs(g1, g2)| / max(|g1|, |g2|)`` and
+``DistMcs = 1 - SimMcs``, where ``|g|`` counts edges. Proved to be a metric
+on graphs (Bunke & Shearer 1998); values lie in [0, 1]. Two empty graphs
+are defined to be at distance 0.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.mcs import maximum_common_subgraph
+from repro.measures.base import DistanceMeasure, PairContext, register_measure
+
+
+def mcs_similarity(
+    g1: LabeledGraph,
+    g2: LabeledGraph,
+    context: PairContext | None = None,
+) -> float:
+    """``SimMcs`` of Definition 9 (1 for two empty graphs)."""
+    denominator = max(g1.size, g2.size)
+    if denominator == 0:
+        return 1.0
+    result = context.mcs if context is not None else maximum_common_subgraph(g1, g2)
+    return result.size / denominator
+
+
+class McsDistance(DistanceMeasure):
+    """``DistMcs = 1 - |mcs| / max(|g1|, |g2|)`` (Definition 9)."""
+
+    name = "mcs"
+    normalized = True
+    is_metric = True
+
+    def distance(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+    ) -> float:
+        return 1.0 - mcs_similarity(g1, g2, context)
+
+
+register_measure("mcs", McsDistance)

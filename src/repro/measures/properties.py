@@ -1,0 +1,115 @@
+"""Semantic-property test harness for distance measures (Section IV).
+
+The paper stresses *semantic properties* of similarity measures (metricity,
+normalisation, the ``SimGu <= SimMcs`` dominance). This module provides
+checkers that sample graph collections and report violations; the test
+suite runs them over random graph families, and users can run them over
+their own data to validate custom measures before plugging them into a
+GCS vector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import DistanceMeasure
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of property checks for one measure over a graph sample.
+
+    ``violations`` maps property name to a list of offending graph-name
+    tuples (capped at ``max_recorded`` per property).
+    """
+
+    measure: str
+    checked_pairs: int = 0
+    checked_triples: int = 0
+    violations: dict[str, list[tuple]] = field(default_factory=dict)
+    max_recorded: int = 10
+
+    @property
+    def ok(self) -> bool:
+        """True when no property was violated."""
+        return not self.violations
+
+    def record(self, property_name: str, witness: tuple) -> None:
+        """Add one violation witness (bounded)."""
+        bucket = self.violations.setdefault(property_name, [])
+        if len(bucket) < self.max_recorded:
+            bucket.append(witness)
+
+
+def check_measure_properties(
+    measure: DistanceMeasure,
+    graphs: Sequence[LabeledGraph],
+    check_triangle: bool = True,
+    tolerance: float = 1e-9,
+) -> PropertyReport:
+    """Check identity, symmetry, non-negativity, range and triangle axioms.
+
+    Triangle checking is cubic in ``len(graphs)``; pass
+    ``check_triangle=False`` for large samples. The ``normalized`` flag of
+    the measure decides whether the [0, 1] range is enforced.
+    """
+    report = PropertyReport(measure=measure.name)
+    names = [graph.name or f"graph-{i}" for i, graph in enumerate(graphs)]
+    values: dict[tuple[int, int], float] = {}
+
+    for i, graph in enumerate(graphs):
+        self_distance = measure.distance(graph, graph)
+        if abs(self_distance) > tolerance:
+            report.record("identity", (names[i], self_distance))
+
+    for i, j in itertools.combinations(range(len(graphs)), 2):
+        forward = measure.distance(graphs[i], graphs[j])
+        backward = measure.distance(graphs[j], graphs[i])
+        values[(i, j)] = forward
+        values[(j, i)] = backward
+        report.checked_pairs += 1
+        if forward < -tolerance:
+            report.record("non-negativity", (names[i], names[j], forward))
+        if abs(forward - backward) > tolerance:
+            report.record("symmetry", (names[i], names[j], forward, backward))
+        if measure.normalized and forward > 1.0 + tolerance:
+            report.record("range", (names[i], names[j], forward))
+
+    if check_triangle:
+        for i, j, k in itertools.permutations(range(len(graphs)), 3):
+            if (i, j) not in values or (i, k) not in values or (k, j) not in values:
+                continue
+            report.checked_triples += 1
+            if values[(i, j)] > values[(i, k)] + values[(k, j)] + tolerance:
+                report.record(
+                    "triangle",
+                    (names[i], names[j], names[k], values[(i, j)],
+                     values[(i, k)] + values[(k, j)]),
+                )
+    return report
+
+
+def check_gu_dominated_by_mcs(
+    graphs: Sequence[LabeledGraph],
+    tolerance: float = 1e-9,
+) -> list[tuple]:
+    """Verify ``SimGu(g1, g2) <= SimMcs(g1, g2)`` over all pairs.
+
+    Returns the violating pairs (empty list = property holds), checking the
+    inequality the paper states when introducing Definition 10.
+    """
+    from repro.measures.base import PairContext
+    from repro.measures.graph_union import graph_union_similarity
+    from repro.measures.mcs_distance import mcs_similarity
+
+    violations = []
+    for g1, g2 in itertools.combinations(graphs, 2):
+        context = PairContext(g1, g2)
+        sim_gu = graph_union_similarity(g1, g2, context)
+        sim_mcs = mcs_similarity(g1, g2, context)
+        if sim_gu > sim_mcs + tolerance:
+            violations.append((g1.name, g2.name, sim_gu, sim_mcs))
+    return violations

@@ -1,0 +1,41 @@
+"""Figure-reconstruction tooling: constraints, verification, local search.
+
+The paper's Fig. 3 graphs are known only through their published
+statistics. This subpackage encodes those statistics as constraints,
+verifies any candidate reconstruction cell by cell against the exact
+solvers, and hill-climbs candidates to maximise agreement. The shipped
+dataset (:mod:`repro.datasets.paper_example`) is the best assignment
+found; `tests/test_reconstruct.py` re-verifies it on every run.
+"""
+
+from repro.reconstruct.constraints import (
+    GRAPH_NAMES,
+    PAPER_CONSTRAINTS,
+    PaperConstraints,
+    SKYLINE_NAMES,
+)
+from repro.reconstruct.verify import (
+    Cell,
+    PairSolverCache,
+    VerificationReport,
+    verify_assignment,
+)
+from repro.reconstruct.search import (
+    LABEL_POOL,
+    SearchResult,
+    search_reconstruction,
+)
+
+__all__ = [
+    "GRAPH_NAMES",
+    "SKYLINE_NAMES",
+    "PaperConstraints",
+    "PAPER_CONSTRAINTS",
+    "Cell",
+    "VerificationReport",
+    "PairSolverCache",
+    "verify_assignment",
+    "SearchResult",
+    "search_reconstruction",
+    "LABEL_POOL",
+]

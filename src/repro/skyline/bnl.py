@@ -1,0 +1,35 @@
+"""Block-Nested-Loop skyline (Börzsönyi, Kossmann & Stocker, ICDE 2001).
+
+The classic algorithm the paper's skyline reminder (Section II-A) refers
+to: stream points through a window of incomparable candidates. A new point
+is discarded if the window dominates it; it evicts every window point it
+dominates; otherwise it joins the window. In memory-resident form (no
+temp-file spills) the window is just a list and the algorithm is a
+short-circuiting O(n * |skyline|) loop — usually far faster than naive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.skyline.utils import Vector, dominates, validate_vectors
+
+
+def bnl_skyline(vectors: Sequence[Vector], tolerance: float = 0.0) -> list[int]:
+    """Indices of non-dominated vectors, in input order."""
+    validate_vectors(vectors)
+    window: list[int] = []
+    for i, candidate in enumerate(vectors):
+        discarded = False
+        survivors: list[int] = []
+        for j in window:
+            if dominates(vectors[j], candidate, tolerance):
+                discarded = True
+                survivors = window  # candidate dies; window unchanged
+                break
+            if not dominates(candidate, vectors[j], tolerance):
+                survivors.append(j)
+        if not discarded:
+            survivors.append(i)
+        window = survivors
+    return sorted(window)

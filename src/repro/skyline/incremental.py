@@ -1,0 +1,140 @@
+"""Incremental skyline maintenance under insertions and deletions.
+
+A graph database is rarely static; recomputing GSS vectors is the
+expensive part, but re-running the skyline pass from scratch after every
+insert is also wasteful for large answer sets. :class:`IncrementalSkyline`
+maintains the Pareto-optimal set of keyed vectors online:
+
+* **insert**: a new point dominated by a current member goes to the
+  dominated pool; otherwise it joins the skyline and evicts every member
+  it dominates (evictees join the pool);
+* **remove**: removing a pool point is free; removing a skyline member
+  promotes exactly those pool points no longer dominated by anything.
+
+The maintained set always equals the batch skyline of the live points
+(property-tested against the batch algorithms).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.skyline.utils import Vector, dominates
+
+Key = Hashable
+
+
+class IncrementalSkyline:
+    """Online Pareto skyline over keyed vectors (minimisation)."""
+
+    def __init__(self, dimension: int, tolerance: float = 0.0) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+        self.tolerance = tolerance
+        self._vectors: dict[Key, tuple[float, ...]] = {}
+        self._skyline: set[Key] = set()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def skyline_keys(self) -> list[Key]:
+        """Current skyline keys, in insertion order."""
+        return [key for key in self._vectors if key in self._skyline]
+
+    def vector(self, key: Key) -> tuple[float, ...]:
+        """The vector stored under ``key``."""
+        return self._vectors[key]
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._vectors
+
+    @property
+    def skyline_size(self) -> int:
+        """Number of Pareto-optimal points right now."""
+        return len(self._skyline)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, vector: Vector) -> bool:
+        """Add (or replace) ``key``; returns whether it is now a skyline member."""
+        values = tuple(float(v) for v in vector)
+        if len(values) != self.dimension:
+            raise ValueError(
+                f"expected dimension {self.dimension}, got {len(values)}"
+            )
+        if key in self._vectors:
+            self.remove(key)
+        dominated = any(
+            dominates(self._vectors[member], values, self.tolerance)
+            for member in self._skyline
+        )
+        self._vectors[key] = values
+        if dominated:
+            return False
+        evicted = [
+            member
+            for member in self._skyline
+            if dominates(values, self._vectors[member], self.tolerance)
+        ]
+        for member in evicted:
+            self._skyline.discard(member)
+        self._skyline.add(key)
+        return True
+
+    def remove(self, key: Key) -> None:
+        """Delete ``key``; promotes newly undominated pool points."""
+        if key not in self._vectors:
+            raise KeyError(key)
+        was_member = key in self._skyline
+        del self._vectors[key]
+        self._skyline.discard(key)
+        if not was_member:
+            return
+        # Only pool points the removed member used to dominate can rise;
+        # checking the whole pool is simpler and still linear per check.
+        for candidate, values in self._vectors.items():
+            if candidate in self._skyline:
+                continue
+            if not any(
+                dominates(self._vectors[member], values, self.tolerance)
+                for member in self._skyline
+            ):
+                # a promoted point may itself be dominated by another pool
+                # point that is also about to rise: verify against all live
+                # points, not just current members
+                if not any(
+                    other != candidate
+                    and dominates(other_values, values, self.tolerance)
+                    for other, other_values in self._vectors.items()
+                ):
+                    self._skyline.add(candidate)
+
+    def rebuild(self) -> None:
+        """Recompute the skyline from scratch (defensive/testing hook)."""
+        items = list(self._vectors.items())
+        self._skyline = {
+            key
+            for key, values in items
+            if not any(
+                other != key and dominates(other_values, values, self.tolerance)
+                for other, other_values in items
+            )
+        }
+
+
+def incremental_skyline(
+    keyed_vectors: Sequence[tuple[Key, Vector]],
+    tolerance: float = 0.0,
+) -> list[Key]:
+    """Convenience: run a stream of insertions, return final skyline keys."""
+    if not keyed_vectors:
+        return []
+    tracker = IncrementalSkyline(len(keyed_vectors[0][1]), tolerance)
+    for key, vector in keyed_vectors:
+        tracker.insert(key, vector)
+    return tracker.skyline_keys()

@@ -1,0 +1,26 @@
+"""Sort-Filter-Skyline (Chomicki et al.): presort by a monotone score.
+
+Points are processed in ascending order of their coordinate sum (any
+strictly monotone aggregate works). After sorting, no point can be
+dominated by a *later* point — a dominator has a strictly smaller sum — so
+one forward pass comparing only against already-accepted skyline members
+suffices. This makes every window comparison a potential accept/reject
+decision and removes BNL's eviction logic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.skyline.utils import Vector, dominates, validate_vectors
+
+
+def sfs_skyline(vectors: Sequence[Vector], tolerance: float = 0.0) -> list[int]:
+    """Indices of non-dominated vectors, in input order."""
+    validate_vectors(vectors)
+    order = sorted(range(len(vectors)), key=lambda i: (sum(vectors[i]), i))
+    skyline: list[int] = []
+    for i in order:
+        if not any(dominates(vectors[j], vectors[i], tolerance) for j in skyline):
+            skyline.append(i)
+    return sorted(skyline)

@@ -1,0 +1,41 @@
+"""k-skyband: the standard relaxation of the skyline.
+
+The k-skyband of a point set contains every point dominated by *fewer
+than k* other points; the skyline is the 1-skyband. It is the natural
+knob when a plain skyline returns too few answers — the complement of the
+paper's diversity refinement, which handles skylines that are too large.
+Exposed on the executor and used by the dimensionality experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.skyline.utils import Vector, dominates, validate_vectors
+
+
+def dominator_counts(vectors: Sequence[Vector], tolerance: float = 0.0) -> list[int]:
+    """For each point, how many other points dominate it."""
+    validate_vectors(vectors)
+    counts = [0] * len(vectors)
+    for i, p in enumerate(vectors):
+        for j, q in enumerate(vectors):
+            if i != j and dominates(q, p, tolerance):
+                counts[i] += 1
+    return counts
+
+
+def k_skyband(
+    vectors: Sequence[Vector],
+    k: int,
+    tolerance: float = 0.0,
+) -> list[int]:
+    """Indices of points dominated by fewer than ``k`` others.
+
+    ``k = 1`` gives exactly the skyline; larger ``k`` relaxes membership
+    monotonically (the k-skyband contains the (k-1)-skyband).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    counts = dominator_counts(vectors, tolerance)
+    return [i for i, count in enumerate(counts) if count < k]

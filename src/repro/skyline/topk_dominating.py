@@ -1,0 +1,40 @@
+"""Top-k dominating points (Yiu & Mamoulis, VLDB 2007 — related work).
+
+Ranks points by how many others they dominate and returns the ``k`` best.
+Unlike the skyline it always returns exactly ``min(k, n)`` answers, which
+makes it a useful control when skylines grow large; the library exposes it
+as an alternative result-size-bounded retrieval mode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.skyline.utils import Vector, dominates, validate_vectors
+
+
+def dominance_counts(vectors: Sequence[Vector], tolerance: float = 0.0) -> list[int]:
+    """For each point, the number of points it dominates."""
+    validate_vectors(vectors)
+    counts = [0] * len(vectors)
+    for i, p in enumerate(vectors):
+        for j, q in enumerate(vectors):
+            if i != j and dominates(p, q, tolerance):
+                counts[i] += 1
+    return counts
+
+
+def top_k_dominating(
+    vectors: Sequence[Vector],
+    k: int,
+    tolerance: float = 0.0,
+) -> list[int]:
+    """Indices of the ``k`` points dominating the most others.
+
+    Ties are broken by input order, making the result deterministic.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    counts = dominance_counts(vectors, tolerance)
+    order = sorted(range(len(vectors)), key=lambda i: (-counts[i], i))
+    return order[:k]

@@ -1,0 +1,87 @@
+"""Tests for the bench harness utilities (rendering, comparisons, report)."""
+
+import pytest
+
+from repro.bench import (
+    agreement_summary,
+    comparison_rows,
+    compute_paper_example_report,
+    format_value,
+    query_side_vectors,
+    render_table,
+)
+from repro.datasets import figure3_database, figure3_query
+
+
+# ----------------------------------------------------------------------
+# format_value / render_table
+# ----------------------------------------------------------------------
+def test_format_value():
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(4.0) == "4"
+    assert format_value(0.3333, digits=2) == "0.33"
+    assert format_value(0.3333, digits=3) == "0.333"
+    assert format_value("text") == "text"
+    assert format_value(7) == "7"
+
+
+def test_render_table_alignment():
+    table = render_table(
+        ["name", "value"],
+        [["alpha", 1.5], ["b", 20]],
+        title="demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("name")
+    assert set(lines[2]) == {"-"}
+    assert "alpha" in lines[3]
+    assert "20" in lines[4]
+
+
+def test_render_table_empty_rows():
+    table = render_table(["a", "b"], [])
+    assert "a" in table and "b" in table
+
+
+# ----------------------------------------------------------------------
+# comparison helpers
+# ----------------------------------------------------------------------
+def test_comparison_rows_and_summary():
+    paper = {"x": 0.33, "y": 0.50}
+    measured = {"x": 0.3333, "y": 0.61}
+    rows = comparison_rows(paper, measured, tolerance=0.01)
+    verdicts = {row[0]: row[-1] for row in rows}
+    assert verdicts == {"x": "OK", "y": "DIFF"}
+    assert agreement_summary(rows) == "1/2 cells agree with the paper"
+
+
+# ----------------------------------------------------------------------
+# paper-example report
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def report():
+    return compute_paper_example_report()
+
+
+def test_report_covers_all_artifacts(report):
+    assert len(report.mcs_with_query) == 7
+    assert len(report.gcs) == 7
+    assert report.skyline == ["g1", "g4", "g5", "g7"]
+    assert len(report.pairwise_mcs) == 6
+    assert len(report.diversity_vectors) == 6
+    assert len(report.diversity_ranks) == 6
+    assert report.diverse_subset == ["g1", "g4"]
+    assert "g3" in report.topk_edit
+
+
+def test_report_val_equals_rank_sum(report):
+    for key, ranks in report.diversity_ranks.items():
+        assert report.diversity_val[key] == sum(ranks)
+
+
+def test_query_side_vectors_match_report(report):
+    vectors = query_side_vectors(figure3_database(), figure3_query())
+    for name, vector in vectors.items():
+        assert vector == pytest.approx(report.gcs[name])

@@ -1,0 +1,29 @@
+"""Run the doctests embedded in module and class docstrings.
+
+Keeps the executable examples in the documentation honest — in particular
+the package-level "quick tour", which doubles as the README's headline
+claim (the paper's skyline and refined subset).
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graph.labeled_graph
+
+MODULES_WITH_DOCTESTS = [
+    repro,
+    repro.graph.labeled_graph,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert failures == 0

@@ -1,0 +1,71 @@
+"""Tests for index-accelerated top-k search and the describe command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import top_k_by_measure
+from repro.datasets import figure3_database, make_workload
+from repro.db import GraphDatabase, SkylineExecutor, save_database
+
+
+# ----------------------------------------------------------------------
+# Executor top-k with bound pruning
+# ----------------------------------------------------------------------
+def test_executor_topk_matches_core(paper_db, paper_query):
+    db = GraphDatabase.from_graphs(paper_db)
+    executor = SkylineExecutor(db)
+    for k in (1, 3, 7):
+        accelerated = executor.top_k_search(paper_query, "edit", k)
+        reference = top_k_by_measure(db.graphs(), paper_query, "edit", k)
+        assert [gid for gid, _ in accelerated] == reference.indices
+        assert [d for _, d in accelerated] == pytest.approx(
+            [d for _, d in reference.ranking]
+        )
+
+
+def test_executor_topk_pruned_equals_unpruned_on_workload():
+    workload = make_workload(n_graphs=25, query_size=6, seed=6)
+    db = GraphDatabase.from_graphs(workload.database)
+    query = workload.queries[0]
+    for measure in ("edit", "mcs", "union"):
+        pruned = SkylineExecutor(db, use_index=True).top_k_search(query, measure, 5)
+        full = SkylineExecutor(db, use_index=False).top_k_search(query, measure, 5)
+        assert pruned == full, measure
+
+
+def test_executor_topk_k_larger_than_database(paper_db, paper_query):
+    db = GraphDatabase.from_graphs(paper_db)
+    result = SkylineExecutor(db).top_k_search(paper_query, "edit", 100)
+    assert len(result) == len(paper_db)
+
+
+def test_executor_topk_validation(paper_db, paper_query):
+    db = GraphDatabase.from_graphs(paper_db)
+    with pytest.raises(ValueError):
+        SkylineExecutor(db).top_k_search(paper_query, "edit", 0)
+
+
+# ----------------------------------------------------------------------
+# CLI describe
+# ----------------------------------------------------------------------
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.json"
+    save_database(GraphDatabase.from_graphs(figure3_database(), name="fig3"), path)
+    return str(path)
+
+
+def test_describe_command(db_file, capsys):
+    assert main(["describe", db_file]) == 0
+    out = capsys.readouterr().out
+    assert "database 'fig3': 7 graphs" in out
+    assert "sizes: min 6" in out
+    assert "max 10" in out
+    assert "connected: 100%" in out
+
+
+def test_describe_verbose(db_file, capsys):
+    assert main(["describe", db_file, "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "graph g1:" in out
+    assert "graph g7:" in out

@@ -1,0 +1,208 @@
+"""Tests for incremental skylines, explanations and the query cache."""
+
+import random
+
+import pytest
+
+from repro.core import explain_all, explain_membership, graph_similarity_skyline
+from repro.db import GraphDatabase, QueryCache, SkylineExecutor
+from repro.errors import QueryError
+from repro.skyline import IncrementalSkyline, incremental_skyline, naive_skyline
+
+
+# ----------------------------------------------------------------------
+# IncrementalSkyline
+# ----------------------------------------------------------------------
+def test_incremental_basic_insertion():
+    tracker = IncrementalSkyline(dimension=2)
+    assert tracker.insert("a", (1.0, 3.0))
+    assert tracker.insert("b", (3.0, 1.0))
+    assert not tracker.insert("c", (4.0, 4.0))  # dominated by both
+    assert set(tracker.skyline_keys()) == {"a", "b"}
+    assert len(tracker) == 3
+    assert "c" in tracker
+    assert tracker.vector("c") == (4.0, 4.0)
+
+
+def test_incremental_eviction():
+    tracker = IncrementalSkyline(dimension=2)
+    tracker.insert("a", (2.0, 2.0))
+    assert tracker.insert("killer", (1.0, 1.0))
+    assert tracker.skyline_keys() == ["killer"]
+    assert tracker.skyline_size == 1
+
+
+def test_incremental_removal_promotes_pool():
+    tracker = IncrementalSkyline(dimension=2)
+    tracker.insert("best", (1.0, 1.0))
+    tracker.insert("shadowed", (2.0, 2.0))
+    tracker.insert("deep", (3.0, 3.0))
+    tracker.remove("best")
+    assert tracker.skyline_keys() == ["shadowed"]  # deep stays dominated
+    tracker.remove("shadowed")
+    assert tracker.skyline_keys() == ["deep"]
+
+
+def test_incremental_remove_pool_point_is_cheap():
+    tracker = IncrementalSkyline(dimension=1)
+    tracker.insert("a", (1.0,))
+    tracker.insert("b", (2.0,))
+    tracker.remove("b")
+    assert tracker.skyline_keys() == ["a"]
+    with pytest.raises(KeyError):
+        tracker.remove("b")
+
+
+def test_incremental_reinsert_replaces():
+    tracker = IncrementalSkyline(dimension=2)
+    tracker.insert("a", (5.0, 5.0))
+    tracker.insert("a", (1.0, 1.0))  # replacement, not duplicate
+    assert len(tracker) == 1
+    assert tracker.skyline_keys() == ["a"]
+
+
+def test_incremental_validation():
+    with pytest.raises(ValueError):
+        IncrementalSkyline(dimension=0)
+    tracker = IncrementalSkyline(dimension=2)
+    with pytest.raises(ValueError):
+        tracker.insert("a", (1.0,))
+
+
+def test_incremental_matches_batch_on_random_streams():
+    rng = random.Random(0)
+    for trial in range(20):
+        n = rng.randint(0, 25)
+        vectors = [
+            (float(rng.randint(0, 6)), float(rng.randint(0, 6))) for _ in range(n)
+        ]
+        stream = incremental_skyline(list(enumerate(vectors)))
+        assert sorted(stream) == naive_skyline(vectors), f"trial {trial}"
+
+
+def test_incremental_matches_batch_under_deletions():
+    rng = random.Random(1)
+    for trial in range(15):
+        tracker = IncrementalSkyline(dimension=2)
+        live: dict[int, tuple[float, float]] = {}
+        for step in range(30):
+            if live and rng.random() < 0.3:
+                victim = rng.choice(list(live))
+                tracker.remove(victim)
+                del live[victim]
+            else:
+                vector = (float(rng.randint(0, 5)), float(rng.randint(0, 5)))
+                tracker.insert(step, vector)
+                live[step] = vector
+            keys = list(live)
+            batch = {keys[i] for i in naive_skyline([live[k] for k in keys])}
+            assert set(tracker.skyline_keys()) == batch, f"trial {trial} step {step}"
+
+
+def test_incremental_rebuild_agrees():
+    tracker = IncrementalSkyline(dimension=2)
+    for i, vector in enumerate([(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (0.5, 4.0)]):
+        tracker.insert(i, vector)
+    before = set(tracker.skyline_keys())
+    tracker.rebuild()
+    assert set(tracker.skyline_keys()) == before
+
+
+# ----------------------------------------------------------------------
+# Explanations
+# ----------------------------------------------------------------------
+def test_explain_skyline_member(paper_db, paper_query):
+    result = graph_similarity_skyline(paper_db, paper_query)
+    explanation = explain_membership(result, "g1")
+    assert explanation.in_skyline
+    assert explanation.dominators == []
+    assert "is in the skyline" in explanation.narrative()
+
+
+def test_explain_dominated_graph(paper_db, paper_query):
+    result = graph_similarity_skyline(paper_db, paper_query)
+    explanation = explain_membership(result, "g6")
+    assert not explanation.in_skyline
+    dominator_names = {d.dominator for d in explanation.dominators}
+    assert "g1" in dominator_names
+    narrative = explanation.narrative()
+    assert "NOT in the skyline" in narrative
+    assert "dominated by g1" in narrative
+    # the margin on the strictly-better dimension must be positive
+    g1_margins = next(
+        d.margins for d in explanation.dominators if d.dominator == "g1"
+    )
+    assert any(margin > 0 for margin in g1_margins)
+    assert all(margin >= 0 for margin in g1_margins)
+
+
+def test_explain_unknown_name(paper_db, paper_query):
+    result = graph_similarity_skyline(paper_db, paper_query)
+    with pytest.raises(QueryError):
+        explain_membership(result, "nope")
+
+
+def test_explain_all_covers_database(paper_db, paper_query):
+    result = graph_similarity_skyline(paper_db, paper_query)
+    explanations = explain_all(result)
+    assert len(explanations) == len(paper_db)
+    assert sum(1 for e in explanations if e.in_skyline) == 4
+
+
+# ----------------------------------------------------------------------
+# QueryCache
+# ----------------------------------------------------------------------
+def test_cache_hits_on_repeated_query(paper_db, paper_query):
+    db = GraphDatabase.from_graphs(paper_db)
+    cache = QueryCache()
+    executor = SkylineExecutor(db, use_index=False, cache=cache)
+    first = executor.execute(paper_query)
+    assert first.stats.exact_evaluations == 7
+    second = executor.execute(paper_query)
+    assert second.stats.exact_evaluations == 0  # all served from cache
+    assert second.skyline_ids == first.skyline_ids
+    assert cache.hits == 7
+    assert cache.hit_rate > 0
+
+
+def test_cache_respects_measures_key(paper_db, paper_query):
+    db = GraphDatabase.from_graphs(paper_db)
+    cache = QueryCache()
+    SkylineExecutor(db, use_index=False, cache=cache).execute(paper_query)
+    edit_only = SkylineExecutor(
+        db, measures=("edit",), use_index=False, cache=cache
+    ).execute(paper_query)
+    assert edit_only.stats.exact_evaluations == 7  # different measure vector
+
+
+def test_cache_invalidate_graph(paper_db, paper_query):
+    db = GraphDatabase.from_graphs(paper_db)
+    cache = QueryCache()
+    executor = SkylineExecutor(db, use_index=False, cache=cache)
+    executor.execute(paper_query)
+    cache.invalidate_graph(0)
+    rerun = executor.execute(paper_query)
+    assert rerun.stats.exact_evaluations == 1  # only g1 recomputed
+
+
+def test_cache_lru_eviction():
+    cache = QueryCache(max_entries=2)
+    cache.put(1, "q", ("edit",), (1.0,))
+    cache.put(2, "q", ("edit",), (2.0,))
+    cache.get(1, "q", ("edit",))  # refresh 1
+    cache.put(3, "q", ("edit",), (3.0,))  # evicts 2
+    assert cache.get(2, "q", ("edit",)) is None
+    assert cache.get(1, "q", ("edit",)) == (1.0,)
+    assert len(cache) == 2
+
+
+def test_cache_clear_and_validation():
+    with pytest.raises(ValueError):
+        QueryCache(max_entries=0)
+    cache = QueryCache()
+    cache.put(1, "q", ("edit",), (1.0,))
+    cache.get(1, "q", ("edit",))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 0
+    assert cache.hit_rate == 0.0

@@ -1,0 +1,237 @@
+"""Unit tests for the core labeled-graph type (Definition 3)."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateEdgeError,
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph import DEFAULT_EDGE_LABEL, LabeledGraph, edge_key
+
+
+def test_empty_graph_properties():
+    g = LabeledGraph(name="empty")
+    assert g.order == 0
+    assert g.size == 0
+    assert len(g) == 0
+    assert g.vertices() == []
+    assert list(g.edges()) == []
+    assert g.is_connected()  # by convention
+
+
+def test_add_vertices_and_edges():
+    g = LabeledGraph()
+    g.add_vertex(1, "A")
+    g.add_vertex(2, "B")
+    g.add_edge(1, 2, "x")
+    assert g.order == 2
+    assert g.size == 1
+    assert g.vertex_label(1) == "A"
+    assert g.edge_label(1, 2) == "x"
+    assert g.edge_label(2, 1) == "x"  # undirected
+    assert g.has_edge(2, 1)
+
+
+def test_size_counts_edges_not_vertices():
+    """The paper's |g| is the edge count (Definition 3)."""
+    g = LabeledGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+    assert g.size == 3
+    assert g.order == 3
+    g2 = LabeledGraph()
+    g2.add_vertex("a", "a")
+    assert g2.size == 0
+
+
+def test_duplicate_vertex_rejected():
+    g = LabeledGraph()
+    g.add_vertex(1, "A")
+    with pytest.raises(DuplicateVertexError):
+        g.add_vertex(1, "B")
+
+
+def test_duplicate_edge_rejected():
+    g = LabeledGraph.from_edges([(1, 2)])
+    with pytest.raises(DuplicateEdgeError):
+        g.add_edge(1, 2)
+    with pytest.raises(DuplicateEdgeError):
+        g.add_edge(2, 1)  # same undirected edge
+
+
+def test_self_loop_rejected():
+    g = LabeledGraph()
+    g.add_vertex(1, "A")
+    with pytest.raises(SelfLoopError):
+        g.add_edge(1, 1)
+
+
+def test_edge_to_missing_vertex_rejected():
+    g = LabeledGraph()
+    g.add_vertex(1, "A")
+    with pytest.raises(VertexNotFoundError):
+        g.add_edge(1, 2)
+
+
+def test_missing_lookups_raise():
+    g = LabeledGraph()
+    with pytest.raises(VertexNotFoundError):
+        g.vertex_label(0)
+    with pytest.raises(VertexNotFoundError):
+        g.degree(0)
+    with pytest.raises(VertexNotFoundError):
+        g.neighbors(0)
+    with pytest.raises(EdgeNotFoundError):
+        g.edge_label(0, 1)
+    with pytest.raises(VertexNotFoundError):
+        g.remove_vertex(0)
+    with pytest.raises(EdgeNotFoundError):
+        g.remove_edge(0, 1)
+
+
+def test_remove_vertex_removes_incident_edges():
+    g = LabeledGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+    g.remove_vertex(2)
+    assert g.order == 2
+    assert g.size == 1
+    assert g.has_edge(1, 3)
+    assert not g.has_vertex(2)
+
+
+def test_remove_edge_keeps_vertices():
+    g = LabeledGraph.from_edges([(1, 2)])
+    g.remove_edge(2, 1)
+    assert g.size == 0
+    assert g.order == 2
+
+
+def test_relabel_vertex_and_edge():
+    g = LabeledGraph.from_edges([("a", "b", "x")])
+    g.relabel_vertex("a", "Z")
+    g.relabel_edge("a", "b", "y")
+    assert g.vertex_label("a") == "Z"
+    assert g.edge_label("b", "a") == "y"
+
+
+def test_relabel_missing_raises():
+    g = LabeledGraph()
+    with pytest.raises(VertexNotFoundError):
+        g.relabel_vertex("a", "Z")
+    with pytest.raises(EdgeNotFoundError):
+        g.relabel_edge("a", "b", "y")
+
+
+def test_from_edges_defaults_label_to_vertex_id():
+    g = LabeledGraph.from_edges([("a", "b")])
+    assert g.vertex_label("a") == "a"
+    assert g.edge_label("a", "b") == DEFAULT_EDGE_LABEL
+
+
+def test_from_edges_with_vertex_labels_and_isolated_vertices():
+    g = LabeledGraph.from_edges(
+        [(1, 2, "x")], vertex_labels={1: "A", 2: "B", 3: "C"}
+    )
+    assert g.order == 3  # vertex 3 exists although isolated
+    assert g.degree(3) == 0
+    assert g.vertex_label(3) == "C"
+
+
+def test_from_edges_rejects_malformed_tuples():
+    with pytest.raises(ValueError):
+        LabeledGraph.from_edges([(1,)])
+    with pytest.raises(ValueError):
+        LabeledGraph.from_edges([(1, 2, "x", "extra")])
+
+
+def test_copy_is_deep():
+    g = LabeledGraph.from_edges([(1, 2, "x")], name="orig")
+    clone = g.copy()
+    clone.add_vertex(3, "C")
+    clone.relabel_edge(1, 2, "y")
+    assert g.order == 2
+    assert g.edge_label(1, 2) == "x"
+    assert clone.name == "orig"
+    assert g.copy(name="new").name == "new"
+
+
+def test_edges_iteration_is_canonical_and_complete():
+    g = LabeledGraph.from_edges([(2, 1, "x"), (3, 2, "y")])
+    edges = list(g.edges())
+    assert len(edges) == 2
+    assert all(edge_key(u, v) == (u, v) for u, v, _ in edges)
+    assert {(u, v) for u, v, _ in edges} == {edge_key(1, 2), edge_key(2, 3)}
+
+
+def test_edge_key_is_order_insensitive():
+    assert edge_key("b", "a") == edge_key("a", "b")
+    assert edge_key(2, 10) == edge_key(10, 2)
+    # mixed types get a deterministic (type-name, repr) order
+    assert edge_key("a", 1) == edge_key(1, "a")
+
+
+def test_label_multisets():
+    g = LabeledGraph.from_edges(
+        [(1, 2, "x"), (2, 3, "x")], vertex_labels={1: "A", 2: "A", 3: "B"}
+    )
+    assert g.vertex_label_multiset() == {"A": 2, "B": 1}
+    assert g.edge_label_multiset() == {"x": 2}
+    assert g.label_set() == {"A", "B", "x"}
+
+
+def test_connected_components():
+    g = LabeledGraph.from_edges([(1, 2), (3, 4)])
+    g.add_vertex(5, "E")
+    components = sorted(g.connected_components(), key=len)
+    assert [len(c) for c in components] == [1, 2, 2]
+    assert not g.is_connected()
+
+
+def test_subgraph_induced():
+    g = LabeledGraph.from_edges([(1, 2, "x"), (2, 3, "y"), (1, 3, "z")])
+    sub = g.subgraph([1, 2])
+    assert sub.order == 2
+    assert sub.size == 1
+    assert sub.edge_label(1, 2) == "x"
+    with pytest.raises(VertexNotFoundError):
+        g.subgraph([1, 99])
+
+
+def test_edge_subgraph():
+    g = LabeledGraph.from_edges([(1, 2, "x"), (2, 3, "y"), (1, 3, "z")])
+    sub = g.edge_subgraph([(1, 2), (2, 3)])
+    assert sub.size == 2
+    assert sub.order == 3
+    with pytest.raises(EdgeNotFoundError):
+        g.edge_subgraph([(1, 4)])
+
+
+def test_structural_equality():
+    g1 = LabeledGraph.from_edges([(1, 2, "x")])
+    g2 = LabeledGraph.from_edges([(2, 1, "x")])
+    assert g1 == g2
+    g3 = LabeledGraph.from_edges([(1, 2, "y")])
+    assert g1 != g3
+    assert g1 != "not a graph"
+
+
+def test_graph_is_unhashable():
+    g = LabeledGraph()
+    with pytest.raises(TypeError):
+        hash(g)
+
+
+def test_contains_iter_repr():
+    g = LabeledGraph.from_edges([(1, 2)], name="tiny")
+    assert 1 in g
+    assert 9 not in g
+    assert sorted(g) == [1, 2]
+    assert "tiny" in repr(g)
+    assert "1 edges" in repr(g)
+
+
+def test_neighbors_and_degree():
+    g = LabeledGraph.from_edges([(1, 2), (1, 3), (1, 4)])
+    assert sorted(g.neighbors(1)) == [2, 3, 4]
+    assert g.degree(1) == 3
+    assert g.degree(2) == 1

@@ -1,0 +1,145 @@
+"""Unit tests for edit operations, edit paths and cost models (Sec. IV-A)."""
+
+import pytest
+
+from repro.errors import InvalidEditOperationError
+from repro.graph import (
+    EdgeDeletion,
+    EdgeInsertion,
+    EdgeRelabeling,
+    EditPath,
+    LabeledGraph,
+    UniformCostModel,
+    VertexDeletion,
+    VertexInsertion,
+    VertexRelabeling,
+)
+
+
+@pytest.fixture
+def base() -> LabeledGraph:
+    return LabeledGraph.from_edges([("a", "b", "x"), ("b", "c", "x")])
+
+
+def test_vertex_insertion(base):
+    out = VertexInsertion("d", "D").apply(base)
+    assert out.has_vertex("d")
+    assert out.vertex_label("d") == "D"
+    assert base.order == 3  # original untouched
+
+
+def test_vertex_insertion_conflict(base):
+    with pytest.raises(InvalidEditOperationError):
+        VertexInsertion("a", "A").apply(base)
+
+
+def test_vertex_deletion_requires_isolation(base):
+    with pytest.raises(InvalidEditOperationError):
+        VertexDeletion("a").apply(base)
+    isolated = VertexInsertion("z", "Z").apply(base)
+    out = VertexDeletion("z").apply(isolated)
+    assert not out.has_vertex("z")
+
+
+def test_vertex_deletion_missing(base):
+    with pytest.raises(InvalidEditOperationError):
+        VertexDeletion("nope").apply(base)
+
+
+def test_vertex_relabeling_checks_old_label(base):
+    out = VertexRelabeling("a", "a", "Z").apply(base)
+    assert out.vertex_label("a") == "Z"
+    with pytest.raises(InvalidEditOperationError):
+        VertexRelabeling("a", "WRONG", "Z").apply(base)
+    with pytest.raises(InvalidEditOperationError):
+        VertexRelabeling("nope", "a", "Z").apply(base)
+
+
+def test_edge_insertion(base):
+    out = EdgeInsertion("a", "c", "y").apply(base)
+    assert out.edge_label("a", "c") == "y"
+    with pytest.raises(InvalidEditOperationError):
+        EdgeInsertion("a", "b", "y").apply(base)  # exists
+    with pytest.raises(InvalidEditOperationError):
+        EdgeInsertion("a", "zz", "y").apply(base)  # missing endpoint
+
+
+def test_edge_deletion(base):
+    out = EdgeDeletion("a", "b").apply(base)
+    assert not out.has_edge("a", "b")
+    with pytest.raises(InvalidEditOperationError):
+        EdgeDeletion("a", "c").apply(base)
+
+
+def test_edge_relabeling(base):
+    out = EdgeRelabeling("a", "b", "x", "y").apply(base)
+    assert out.edge_label("a", "b") == "y"
+    with pytest.raises(InvalidEditOperationError):
+        EdgeRelabeling("a", "b", "WRONG", "y").apply(base)
+    with pytest.raises(InvalidEditOperationError):
+        EdgeRelabeling("a", "c", "x", "y").apply(base)
+
+
+def test_uniform_cost_model_defaults():
+    costs = UniformCostModel()
+    assert costs.vertex_substitution("A", "A") == 0.0
+    assert costs.vertex_substitution("A", "B") == 1.0
+    assert costs.edge_substitution("x", "x") == 0.0
+    assert costs.edge_substitution("x", "y") == 1.0
+    assert costs.vertex_deletion("A") == 1.0
+    assert costs.vertex_insertion("A") == 1.0
+    assert costs.edge_deletion("x") == 1.0
+    assert costs.edge_insertion("x") == 1.0
+
+
+def test_uniform_cost_model_custom_and_validation():
+    costs = UniformCostModel(indel_cost=2.0, mismatch_cost=0.5)
+    assert costs.vertex_deletion("A") == 2.0
+    assert costs.vertex_substitution("A", "B") == 0.5
+    with pytest.raises(ValueError):
+        UniformCostModel(indel_cost=-1)
+
+
+def test_operation_costs():
+    costs = UniformCostModel()
+    assert VertexInsertion("d", "D").cost(costs) == 1.0
+    assert VertexDeletion("d").cost(costs) == 1.0
+    assert VertexRelabeling("d", "A", "B").cost(costs) == 1.0
+    assert VertexRelabeling("d", "A", "A").cost(costs) == 0.0
+    assert EdgeInsertion("a", "b", "x").cost(costs) == 1.0
+    assert EdgeDeletion("a", "b").cost(costs) == 1.0
+    assert EdgeRelabeling("a", "b", "x", "y").cost(costs) == 1.0
+
+
+def test_edit_path_cost_is_additive(base):
+    path = EditPath(
+        [
+            EdgeDeletion("a", "b"),
+            VertexRelabeling("a", "a", "Z"),
+            EdgeInsertion("a", "c", "y"),
+        ]
+    )
+    assert path.cost() == 3.0
+    assert len(path) == 3
+    assert len(list(path)) == 3
+
+
+def test_edit_path_apply_order_matters(base):
+    path = EditPath()
+    path.append(EdgeDeletion("a", "b"))
+    path.append(EdgeDeletion("b", "c"))
+    path.append(VertexDeletion("b"))
+    out = path.apply(base)
+    assert not out.has_vertex("b")
+    assert out.order == 2
+    assert base.order == 3  # original untouched
+
+
+def test_edit_path_invalid_sequence_raises(base):
+    path = EditPath([VertexDeletion("b")])  # b still has edges
+    with pytest.raises(InvalidEditOperationError):
+        path.apply(base)
+
+
+def test_edit_path_repr():
+    assert "2 operations" in repr(EditPath([VertexDeletion("x"), VertexDeletion("y")]))

@@ -1,0 +1,161 @@
+"""Tests for the generic skyline algorithms (Section II-A)."""
+
+import pytest
+
+from repro.datasets import EXPECTED_SKYLINE, hotel_names, hotel_vectors
+from repro.errors import QueryError
+from repro.skyline import (
+    ALGORITHMS,
+    bnl_skyline,
+    dnc_skyline,
+    dominance_counts,
+    dominates,
+    incomparable,
+    is_skyline,
+    naive_skyline,
+    sfs_skyline,
+    skyline,
+    top_k_dominating,
+    validate_vectors,
+)
+
+ALL_ALGOS = sorted(ALGORITHMS)
+
+
+# ----------------------------------------------------------------------
+# Dominance primitive (Definition 1)
+# ----------------------------------------------------------------------
+def test_dominates_definition():
+    assert dominates((1.0, 2.0), (1.0, 3.0))
+    assert dominates((0.0, 0.0), (1.0, 1.0))
+    assert not dominates((1.0, 2.0), (1.0, 2.0))  # equal: not strict
+    assert not dominates((1.0, 3.0), (2.0, 2.0))  # incomparable
+    assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+
+def test_dominates_dimension_mismatch():
+    with pytest.raises(ValueError):
+        dominates((1.0,), (1.0, 2.0))
+
+
+def test_dominates_with_tolerance():
+    # without tolerance, any strict float gap counts
+    assert dominates((1.0, 1.0), (1.0000001, 1.0000001))
+    # with tolerance, near-ties on every dimension are not strict
+    assert not dominates((1.0, 1.0), (1.0000001, 1.0000001), tolerance=1e-6)
+    # a real gap on one dimension still dominates under tolerance
+    assert dominates((1.0000001, 1.0), (1.0, 2.0), tolerance=1e-6)
+
+
+def test_incomparable():
+    assert incomparable((1.0, 3.0), (2.0, 2.0))
+    assert not incomparable((1.0, 2.0), (2.0, 3.0))
+
+
+def test_validate_vectors():
+    assert validate_vectors([]) == 0
+    assert validate_vectors([(1.0, 2.0)]) == 2
+    with pytest.raises(ValueError):
+        validate_vectors([(1.0,), (1.0, 2.0)])
+
+
+# ----------------------------------------------------------------------
+# Table I (Example 1)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ALL_ALGOS)
+def test_hotel_skyline_matches_paper(algorithm):
+    vectors = hotel_vectors()
+    names = hotel_names()
+    indices = skyline(vectors, algorithm=algorithm)
+    assert tuple(names[i] for i in indices) == EXPECTED_SKYLINE
+
+
+def test_hotel_dominance_examples():
+    """H1 is dominated by H2, and H7 by H6 (Example 1)."""
+    vectors = {name: v for name, v in zip(hotel_names(), hotel_vectors())}
+    assert dominates(vectors["H2"], vectors["H1"])
+    assert dominates(vectors["H6"], vectors["H7"])
+
+
+# ----------------------------------------------------------------------
+# Algorithm correctness & agreement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ALL_ALGOS)
+def test_empty_and_singleton(algorithm):
+    assert skyline([], algorithm=algorithm) == []
+    assert skyline([(1.0, 2.0)], algorithm=algorithm) == [0]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGOS)
+def test_duplicates_all_kept(algorithm):
+    vectors = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+    assert skyline(vectors, algorithm=algorithm) == [0, 1]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGOS)
+def test_single_dimension(algorithm):
+    vectors = [(3.0,), (1.0,), (2.0,), (1.0,)]
+    assert skyline(vectors, algorithm=algorithm) == [1, 3]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGOS)
+def test_total_order_chain(algorithm):
+    vectors = [(float(i), float(i)) for i in range(10)]
+    assert skyline(vectors, algorithm=algorithm) == [0]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGOS)
+def test_anti_chain_everyone_survives(algorithm):
+    vectors = [(float(i), float(10 - i)) for i in range(10)]
+    assert skyline(vectors, algorithm=algorithm) == list(range(10))
+
+
+def test_algorithms_agree_on_random_data():
+    import random
+
+    rng = random.Random(0)
+    for trial in range(25):
+        n = rng.randint(0, 40)
+        d = rng.randint(1, 4)
+        vectors = [
+            tuple(float(rng.randint(0, 8)) for _ in range(d)) for _ in range(n)
+        ]
+        reference = naive_skyline(vectors)
+        assert is_skyline(vectors, reference)
+        assert bnl_skyline(vectors) == reference, f"bnl trial {trial}"
+        assert sfs_skyline(vectors) == reference, f"sfs trial {trial}"
+        assert dnc_skyline(vectors) == reference, f"dnc trial {trial}"
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(QueryError):
+        skyline([(1.0,)], algorithm="quantum")
+
+
+def test_is_skyline_detects_bad_answers():
+    vectors = [(1.0, 1.0), (2.0, 2.0)]
+    assert is_skyline(vectors, [0])
+    assert not is_skyline(vectors, [0, 1])  # includes dominated point
+    assert not is_skyline(vectors, [])  # misses skyline point
+
+
+# ----------------------------------------------------------------------
+# Top-k dominating
+# ----------------------------------------------------------------------
+def test_dominance_counts():
+    vectors = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+    assert dominance_counts(vectors) == [2, 1, 0]
+
+
+def test_top_k_dominating_ranking():
+    vectors = [(3.0, 3.0), (1.0, 1.0), (2.0, 2.0)]
+    assert top_k_dominating(vectors, 2) == [1, 2]
+    assert top_k_dominating(vectors, 10) == [1, 2, 0]  # capped at n
+    with pytest.raises(ValueError):
+        top_k_dominating(vectors, -1)
+
+
+def test_top_k_dominating_tie_broken_by_order():
+    vectors = [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)]
+    # both 0 and 1 dominate exactly {2}; input order wins
+    assert top_k_dominating(vectors, 1) == [0]

@@ -1,0 +1,106 @@
+"""Tests for the top-k baseline and the end-to-end query engine."""
+
+import pytest
+
+from repro.core import (
+    QueryAnswer,
+    SimilarityQueryEngine,
+    top_k_by_measure,
+)
+from repro.errors import QueryError
+from repro.graph import path_graph
+
+
+# ----------------------------------------------------------------------
+# Top-k baseline (Section VI comparison)
+# ----------------------------------------------------------------------
+def test_top3_edit_contains_g3(paper_db, paper_query):
+    """The paper: a top-3 DistEd baseline returns g3 to the user."""
+    result = top_k_by_measure(paper_db, paper_query, "edit", 3)
+    names = [g.name for g in result.graphs(paper_db)]
+    assert "g3" in names
+    assert names[0] == "g4"  # unique DistEd minimiser
+
+
+def test_skyline_rejects_g3_that_topk_returns(paper_db, paper_query):
+    """The headline contrast of Section VI."""
+    from repro.core import graph_similarity_skyline
+
+    topk_names = {
+        g.name
+        for g in top_k_by_measure(paper_db, paper_query, "edit", 3).graphs(paper_db)
+    }
+    skyline_names = {
+        g.name for g in graph_similarity_skyline(paper_db, paper_query).skyline
+    }
+    assert "g3" in topk_names
+    assert "g3" not in skyline_names
+
+
+def test_topk_ranking_sorted_and_capped(paper_db, paper_query):
+    result = top_k_by_measure(paper_db, paper_query, "edit", 100)
+    distances = [d for _, d in result.ranking]
+    assert distances == sorted(distances)
+    assert len(result.ranking) == len(paper_db)
+
+
+def test_topk_tie_break_by_database_order(paper_db, paper_query):
+    result = top_k_by_measure(paper_db, paper_query, "edit", 7)
+    # g3 and g5 tie at distance 3; g3 comes first in the database
+    names = [paper_db[i].name for i in result.indices]
+    assert names.index("g3") < names.index("g5")
+
+
+def test_topk_validation(paper_db, paper_query):
+    with pytest.raises(QueryError):
+        top_k_by_measure(paper_db, paper_query, "edit", 0)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+def test_engine_skyline_matches_function(paper_db, paper_query):
+    engine = SimilarityQueryEngine()
+    result = engine.skyline(paper_db, paper_query)
+    assert tuple(g.name for g in result.skyline) == ("g1", "g4", "g5", "g7")
+
+
+def test_engine_query_with_refinement(paper_db, paper_query):
+    engine = SimilarityQueryEngine()
+    answer = engine.query(paper_db, paper_query, refine_k=2)
+    assert isinstance(answer, QueryAnswer)
+    assert answer.refinement is not None
+    assert [g.name for g in answer.graphs] == ["g1", "g4"]
+
+
+def test_engine_skips_refinement_when_skyline_small(paper_db, paper_query):
+    engine = SimilarityQueryEngine()
+    answer = engine.query(paper_db, paper_query, refine_k=4)
+    assert answer.refinement is None  # skyline already has 4 members
+    assert len(answer.graphs) == 4
+
+
+def test_engine_without_refinement(paper_db, paper_query):
+    answer = SimilarityQueryEngine().query(paper_db, paper_query)
+    assert answer.refinement is None
+    assert len(answer.graphs) == 4
+
+
+def test_engine_top_k_defaults_to_first_measure(paper_db, paper_query):
+    engine = SimilarityQueryEngine()
+    result = engine.top_k(paper_db, paper_query, 3)
+    assert result.measure == "edit"
+
+
+def test_engine_custom_measures(paper_db, paper_query):
+    engine = SimilarityQueryEngine(measures=("mcs", "union"))
+    result = engine.skyline(paper_db, paper_query)
+    assert result.measures == ("mcs", "union")
+
+
+def test_engine_greedy_refinement(paper_db, paper_query):
+    engine = SimilarityQueryEngine()
+    answer = engine.query(
+        paper_db, paper_query, refine_k=2, refine_method="greedy"
+    )
+    assert len(answer.graphs) == 2
