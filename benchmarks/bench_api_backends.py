@@ -1,0 +1,78 @@
+"""Bench A6 — execution backends on the E1 scalability workload.
+
+Runs the same declarative skyline query through every registered backend
+over the molecule-like synthetic database of `bench_scalability_dbsize`
+and reports wall-clock plus work counters. Expected shape: ``indexed``
+does strictly fewer exact evaluations than ``memory``; ``parallel``
+matches ``memory``'s work but divides the wall-clock by roughly the
+worker count on multi-core hosts (on a single-core host the pool can only
+add overhead, so the speed assertion is gated on ``os.cpu_count()``).
+
+All backends must return the identical skyline — that part is asserted
+unconditionally.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro
+from repro import GraphDatabase, Query
+from repro.bench import render_table
+from repro.datasets import make_workload
+
+N_GRAPHS = 40
+BACKENDS = ("memory", "indexed", "parallel")
+
+
+@pytest.fixture(scope="module")
+def workload_db():
+    workload = make_workload(n_graphs=N_GRAPHS, query_size=7, seed=42)
+    return GraphDatabase.from_graphs(workload.database), workload.queries[0]
+
+
+@pytest.mark.benchmark(group="a6-backends")
+def test_backends_identical_answers_and_timings(workload_db):
+    database, query = workload_db
+    spec = Query(query).skyline()
+    answers = {}
+    rows = []
+    timings = {}
+    for backend in BACKENDS:
+        with repro.connect(database, backend=backend) as session:
+            start = time.perf_counter()
+            result = session.execute(spec)
+            elapsed = time.perf_counter() - start
+        answers[backend] = result.names
+        timings[backend] = elapsed
+        rows.append([
+            backend,
+            round(elapsed * 1000, 1),
+            result.stats.exact_evaluations,
+            result.stats.pruned_by_index,
+            len(result.ids),
+        ])
+    print()
+    print(render_table(
+        ["backend", "ms", "exact evals", "pruned", "skyline"],
+        rows,
+        title=f"A6 — backends on E1 workload (n={N_GRAPHS})",
+    ))
+
+    reference = answers["memory"]
+    for backend in BACKENDS:
+        assert answers[backend] == reference, backend
+
+    # The index must save exact work; the pool must save wall-clock when
+    # there are cores to fan out over.
+    with repro.connect(database, backend="indexed") as session:
+        indexed = session.execute(spec)
+    with repro.connect(database, backend="memory") as session:
+        memory = session.execute(spec)
+    assert indexed.stats.exact_evaluations <= memory.stats.exact_evaluations
+    if (os.cpu_count() or 1) > 1:
+        assert timings["parallel"] < timings["memory"], (
+            f"parallel {timings['parallel']:.3f}s not faster than "
+            f"memory {timings['memory']:.3f}s on {os.cpu_count()} cores"
+        )

@@ -1,18 +1,22 @@
-"""The database layer: storage, index pruning, threshold queries.
+"""The database layer through the session API: backends, pruning, ranges.
 
 Demonstrates the machinery around the core algorithm:
 
 1. loading graphs into a :class:`GraphDatabase` (with iso-deduplication);
-2. executing a skyline query through the :class:`SkylineExecutor` and
-   reading its statistics — how many exact GED/MCS computations the
-   feature index avoided;
+2. executing the same declarative ``Query`` on the ``memory`` (full scan)
+   and ``indexed`` (lower-bound pruning) backends and comparing their
+   statistics — how many exact GED/MCS computations the feature index
+   avoided, for an identical answer;
 3. range ("threshold") queries: all compounds within a given edit
-   distance, verified exactly but pre-filtered by sound lower bounds.
+   distance, verified exactly but pre-filtered by sound lower bounds;
+4. the deprecated :class:`SkylineExecutor` shim, kept working for old
+   callers — it routes through the same ``indexed`` backend.
 
 Run:  python examples/database_indexing.py
 """
 
-from repro import GraphDatabase, SkylineExecutor
+import repro
+from repro import GraphDatabase, Query, SkylineExecutor
 from repro.bench import render_table
 from repro.datasets import make_workload
 
@@ -30,39 +34,49 @@ def main() -> None:
           f"(from {len(workload.database)} raw graphs)")
     print()
 
-    # --- skyline query, with and without index pruning ---------------
+    # --- one query, two backends --------------------------------------
+    spec = Query(query).skyline().refine(k=3)
     rows = []
-    for use_index in (False, True):
-        executor = SkylineExecutor(database, use_index=use_index)
-        result = executor.execute(query, refine_k=3)
+    for backend in ("memory", "indexed"):
+        with repro.connect(database, backend=backend) as session:
+            result = session.execute(spec)
         stats = result.stats
         rows.append([
-            "with index" if use_index else "no index",
+            backend,
             stats.exact_evaluations,
             stats.pruned_by_index,
             f"{stats.pruning_ratio:.0%}",
-            stats.skyline_size,
+            len(result.ids),
         ])
-        if use_index:
-            names = [g.name for g in result.skyline_graphs(database)]
-            print(f"skyline: {names}")
+        if backend == "indexed":
+            print(f"skyline: {result.names}")
             if result.refinement is not None:
                 print(f"3 diverse representatives: "
                       f"{[g.name for g in result.refinement.subset]}")
     print()
     print(render_table(
-        ["mode", "exact evaluations", "pruned", "saved", "skyline size"],
+        ["backend", "exact evaluations", "pruned", "saved", "skyline size"],
         rows,
         title="index pruning effect (identical answers)",
     ))
     print()
 
     # --- threshold search ---------------------------------------------
-    executor = SkylineExecutor(database)
-    for tau in (1.0, 2.0, 3.0):
-        matches = executor.threshold_search(query, "edit", tau)
-        names = [f"{database.get(gid).name}({dist:.0f})" for gid, dist in matches]
-        print(f"compounds within DistEd <= {tau:.0f}: {names or '(none)'}")
+    with repro.connect(database, backend="indexed") as session:
+        for tau in (1.0, 2.0, 3.0):
+            result = session.execute(Query(query).threshold(tau, "edit"))
+            names = [
+                f"{session.database.get(gid).name}({result.distance(gid):.0f})"
+                for gid in result.ids
+            ]
+            print(f"compounds within DistEd <= {tau:.0f}: {names or '(none)'}")
+    print()
+
+    # --- the deprecated executor shim still works ---------------------
+    executor = SkylineExecutor(database)  # deprecated; routes through 'indexed'
+    legacy = executor.execute(query)
+    print("legacy SkylineExecutor shim agrees: "
+          f"{[g.name for g in legacy.skyline_graphs(database)]}")
 
 
 if __name__ == "__main__":

@@ -1,14 +1,16 @@
-"""Quickstart: similarity skyline search over a small graph database.
+"""Quickstart: similarity skyline search through the session API.
 
-Builds a handful of labeled graphs, asks for the graphs most similar to a
-query under the paper's three measures (edit distance, MCS distance,
-graph-union distance), and prints the Pareto-optimal answers with their
-similarity vectors.
+Builds a handful of labeled graphs, opens a session over them with
+``repro.connect``, and asks for the graphs most similar to a query under
+the paper's three measures (edit distance, MCS distance, graph-union
+distance) using the fluent ``Query`` builder. The Pareto-optimal answers
+are printed with their similarity vectors.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import LabeledGraph, graph_similarity_skyline
+import repro
+from repro import LabeledGraph, Query
 
 
 def build_database() -> list[LabeledGraph]:
@@ -38,20 +40,25 @@ def main() -> None:
         [("a", "b"), ("b", "c"), ("c", "d")], name="query"
     )
 
-    result = graph_similarity_skyline(database, query)
+    with repro.connect(database) as session:
+        result = session.execute(Query(query).skyline())
 
-    print(f"query: {query.name} ({query.size} edges)")
-    print(f"database: {len(database)} graphs")
-    print()
-    print("GCS vectors (DistEd, DistMcs, DistGu) — smaller is more similar:")
-    for graph, vector in zip(result.graphs, result.vectors):
-        marker = "  <- skyline" if graph in result.skyline else ""
-        values = ", ".join(f"{v:.2f}" for v in vector.values)
-        print(f"  {graph.name:<14} ({values}){marker}")
-    print()
-    print("answer (maximally similar in the Pareto sense):")
-    for graph in result.skyline:
-        print(f"  {graph.name}")
+        print(f"query: {query.name} ({query.size} edges)")
+        print(f"database: {len(session.database)} graphs "
+              f"(backend: {session.backend_name})")
+        print()
+        print("GCS vectors (DistEd, DistMcs, DistGu) — smaller is more similar:")
+        answered = set(result.ids)
+        for graph_id in sorted(result.evaluated_ids):
+            vector = result.vector(graph_id)
+            name = session.database.get(graph_id).name
+            marker = "  <- skyline" if graph_id in answered else ""
+            values = ", ".join(f"{v:.2f}" for v in vector.values)
+            print(f"  {name:<14} ({values}){marker}")
+        print()
+        print("answer (maximally similar in the Pareto sense):")
+        for name in result.names:
+            print(f"  {name}")
 
 
 if __name__ == "__main__":

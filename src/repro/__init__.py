@@ -8,18 +8,29 @@ A faithful, self-contained reproduction of
 
 Quick tour
 ----------
->>> from repro import (
-...     LabeledGraph, graph_similarity_skyline, refine_by_diversity)
+The declarative session API is the front door: open a session over any
+graph collection, describe the query with the fluent builder, and execute
+it on a pluggable backend (``memory``, ``indexed``, ``parallel``):
+
+>>> import repro
 >>> from repro.datasets import figure3_database, figure3_query
+>>> session = repro.connect(figure3_database())
+>>> result = session.execute(repro.Query(figure3_query()).skyline().refine(k=2))
+>>> result.names
+['g1', 'g4', 'g5', 'g7']
+>>> [g.name for g in result.refinement.subset]
+['g1', 'g4']
+
+The original functional core remains available:
+
+>>> from repro import graph_similarity_skyline, refine_by_diversity
 >>> result = graph_similarity_skyline(figure3_database(), figure3_query())
 >>> [g.name for g in result.skyline]
 ['g1', 'g4', 'g5', 'g7']
->>> refined = refine_by_diversity(result.skyline, k=2)
->>> [g.name for g in refined.subset]
-['g1', 'g4']
 
 Packages
 --------
+``repro.api``       declarative queries, sessions, pluggable backends
 ``repro.graph``     labeled graphs, isomorphism, MCS, exact/approx GED
 ``repro.measures``  DistEd / DistMcs / DistGu (+ extensions)
 ``repro.skyline``   generic Pareto skyline algorithms
@@ -71,6 +82,17 @@ from repro.core import (
     top_k_by_measure,
 )
 from repro.db import GraphDatabase, SkylineExecutor
+from repro.api import (
+    ExecutionBackend,
+    GraphQuery,
+    Query,
+    QueryPlan,
+    ResultSet,
+    Session,
+    available_backends,
+    connect,
+    register_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -118,4 +140,14 @@ __all__ = [
     # db
     "GraphDatabase",
     "SkylineExecutor",
+    # api
+    "GraphQuery",
+    "Query",
+    "Session",
+    "connect",
+    "ResultSet",
+    "QueryPlan",
+    "ExecutionBackend",
+    "register_backend",
+    "available_backends",
 ]

@@ -1,0 +1,59 @@
+"""Declarative query layer: one front door, pluggable execution backends.
+
+The unified API the rest of the library routes through:
+
+* :class:`GraphQuery` / :class:`Query` — immutable query specs with a
+  fluent builder and a JSON wire format;
+* :func:`connect` / :class:`Session` — open a database (or plain graph
+  sequence, or saved JSON file) against a named backend and execute any
+  spec;
+* :class:`ResultSet` — the single result shape (graphs + vectors + stats
+  + ``explain()`` + ``to_rows()``/``to_json()``);
+* :class:`ExecutionBackend` — the strategy ABC behind
+  :func:`register_backend`; shipped backends are ``memory`` (serial
+  exhaustive), ``indexed`` (feature-index lower-bound pruning) and
+  ``parallel`` (process-pool fan-out).
+
+The legacy entry points (:class:`repro.core.SimilarityQueryEngine`,
+:class:`repro.db.SkylineExecutor`) are thin deprecated shims over this
+layer.
+"""
+
+from repro.api.spec import (
+    GraphQuery,
+    Query,
+    QUERY_KINDS,
+    REFINE_METHODS,
+)
+from repro.api.backends import (
+    BackendAnswer,
+    ExecutionBackend,
+    IndexedBackend,
+    MemoryBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.api.parallel import ParallelBackend, shutdown_pool
+from repro.api.result import QueryPlan, ResultSet
+from repro.api.session import Session, connect
+
+__all__ = [
+    "GraphQuery",
+    "Query",
+    "QUERY_KINDS",
+    "REFINE_METHODS",
+    "BackendAnswer",
+    "ExecutionBackend",
+    "MemoryBackend",
+    "IndexedBackend",
+    "ParallelBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "shutdown_pool",
+    "QueryPlan",
+    "ResultSet",
+    "Session",
+    "connect",
+]

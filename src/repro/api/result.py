@@ -1,0 +1,208 @@
+"""Unified result sets for the declarative query API.
+
+:class:`ResultSet` replaces the three divergent result shapes the entry
+points used to return (:class:`~repro.core.gss.SkylineResult`,
+:class:`~repro.core.pipeline.QueryAnswer`,
+:class:`~repro.db.executor.ExecutionResult`): one object carrying the
+answer graphs *and* their ids, the exact GCS vectors (or single-measure
+distances) of everything that was evaluated, the execution statistics, the
+diversity refinement when requested, and renderers (``to_rows``,
+``to_json``, ``explain``) every caller — library, CLI, benches — shares.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.core.gcs import CompoundSimilarity
+from repro.core.diversity import DiversityResult
+from repro.db.database import GraphDatabase
+from repro.db.stats import QueryStats
+from repro.api.spec import GraphQuery
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How a session decided to execute a spec (returned by ``plan()``)."""
+
+    backend: str
+    kind: str
+    database_size: int
+    measures: tuple[str, ...]
+    uses_index: bool
+    workers: int = 1
+
+    def describe(self) -> str:
+        """One-line human-readable plan."""
+        pruning = "index lower-bound pruning" if self.uses_index else "full scan"
+        fan_out = f", {self.workers} workers" if self.workers > 1 else ""
+        return (
+            f"{self.kind} over {self.database_size} graphs via "
+            f"{self.backend!r} ({pruning}{fan_out}; "
+            f"measures: {', '.join(self.measures)})"
+        )
+
+
+@dataclass
+class ResultSet:
+    """Outcome of one executed :class:`~repro.api.spec.GraphQuery`.
+
+    Attributes
+    ----------
+    spec:
+        The query that produced this result.
+    plan:
+        The execution plan the session chose.
+    ids:
+        Answer ids (sorted for skyline/skyband, ranked for topk/threshold),
+        after refinement and ``limit`` were applied.
+    evaluated_ids:
+        Every id whose exact vector/distance was computed (pruned ids are
+        absent).
+    vectors:
+        Exact GCS vectors keyed by id (skyline/skyband kinds).
+    distances:
+        Exact single-measure distances keyed by id (topk/threshold kinds).
+    stats:
+        Execution counters and phase timings.
+    refinement:
+        Section-VII diversity refinement, when the spec requested one and
+        the answer was large enough to need it.
+    """
+
+    spec: GraphQuery
+    plan: QueryPlan
+    database: GraphDatabase = field(repr=False)
+    ids: list[int] = field(default_factory=list)
+    evaluated_ids: list[int] = field(default_factory=list)
+    vectors: dict[int, CompoundSimilarity] = field(default_factory=dict)
+    distances: dict[int, float] | None = None
+    stats: QueryStats = field(default_factory=QueryStats)
+    refinement: DiversityResult | None = None
+
+    # -- answer access --------------------------------------------------
+    @property
+    def graphs(self) -> list[LabeledGraph]:
+        """The answer graphs, aligned with :attr:`ids`."""
+        return [self.database.get(graph_id) for graph_id in self.ids]
+
+    @property
+    def names(self) -> list[str]:
+        """Answer graph names (``#<id>`` fallback), aligned with ids."""
+        return [
+            self.database.get(graph_id).name or f"#{graph_id}"
+            for graph_id in self.ids
+        ]
+
+    @property
+    def measures(self) -> tuple[str, ...]:
+        """Names of the evaluated dimensions."""
+        return self.plan.measures
+
+    def vector(self, graph_id: int) -> CompoundSimilarity:
+        """The exact GCS vector of an evaluated graph."""
+        return self.vectors[graph_id]
+
+    def distance(self, graph_id: int) -> float:
+        """The exact single-measure distance of an evaluated graph."""
+        if self.distances is None:
+            raise KeyError("this result carries vectors, not distances")
+        return self.distances[graph_id]
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[LabeledGraph]:
+        return iter(self.graphs)
+
+    def __contains__(self, graph: object) -> bool:
+        # Structural equality, not identity: sessions opened over plain
+        # graph sequences store defensive copies, so the caller's objects
+        # are never the stored ones.
+        return any(member is graph or member == graph for member in self.graphs)
+
+    # -- renderers -------------------------------------------------------
+    def to_rows(self) -> list[dict[str, object]]:
+        """Table-III-style rows over everything evaluated, in id order.
+
+        Vector kinds yield one column per measure plus ``in_answer``;
+        distance kinds yield the measure column plus ``rank`` (``None``
+        for evaluated graphs outside the answer).
+        """
+        member = set(self.ids)
+        rows: list[dict[str, object]] = []
+        if self.distances is not None:
+            rank_of = {graph_id: rank for rank, graph_id in enumerate(self.ids, 1)}
+            for graph_id in sorted(self.evaluated_ids):
+                rows.append({
+                    "id": graph_id,
+                    "graph": self.database.get(graph_id).name or f"#{graph_id}",
+                    self.measures[0]: self.distances[graph_id],
+                    "rank": rank_of.get(graph_id),
+                    "in_answer": graph_id in member,
+                })
+            return rows
+        for graph_id in sorted(self.evaluated_ids):
+            row: dict[str, object] = {
+                "id": graph_id,
+                "graph": self.database.get(graph_id).name or f"#{graph_id}",
+            }
+            row.update(self.vectors[graph_id].as_dict())
+            row["in_answer"] = graph_id in member
+            rows.append(row)
+        return rows
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-data payload of the whole result (JSON-representable)."""
+        payload: dict[str, object] = {
+            "kind": self.spec.kind,
+            "backend": self.plan.backend,
+            "measures": list(self.measures),
+            "ids": list(self.ids),
+            "answer": self.names,
+            "rows": self.to_rows(),
+            "stats": {
+                "database_size": self.stats.database_size,
+                "candidates_considered": self.stats.candidates_considered,
+                "exact_evaluations": self.stats.exact_evaluations,
+                "pruned_by_index": self.stats.pruned_by_index,
+            },
+        }
+        if self.refinement is not None:
+            payload["refined"] = [
+                graph.name or "?" for graph in self.refinement.subset
+            ]
+        return payload
+
+    def to_json(self, **dumps_kwargs: object) -> str:
+        """JSON string of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    def explain(self) -> str:
+        """Human-readable account of the plan, the work, and the answer."""
+        lines = [self.plan.describe(), self.stats.summary()]
+        if self.spec.kind in ("skyline", "skyband") and self.vectors:
+            member = set(self.ids)
+            for graph_id in sorted(self.evaluated_ids):
+                vector = self.vectors[graph_id]
+                name = self.database.get(graph_id).name or f"#{graph_id}"
+                values = ", ".join(
+                    f"{m}={v:.3g}" for m, v in zip(vector.measures, vector.values)
+                )
+                status = "in answer" if graph_id in member else "dominated"
+                lines.append(f"  {name} ({values}) — {status}")
+            pruned = self.stats.pruned_by_index
+            if pruned:
+                lines.append(
+                    f"  (+{pruned} candidates pruned by index lower bounds "
+                    "without exact evaluation)"
+                )
+        if self.refinement is not None:
+            names = ", ".join(g.name or "?" for g in self.refinement.subset)
+            lines.append(
+                f"refined to {self.refinement.k} diverse representatives: {names}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Sessions: the single front door for executing declarative queries.
+
+``repro.connect(...)`` opens a :class:`Session` over anything graph-shaped
+— a :class:`~repro.db.database.GraphDatabase`, a plain sequence of
+:class:`~repro.graph.labeled_graph.LabeledGraph`, or a path to a saved
+database JSON file — bound to a named execution backend. The session
+plans and executes any :class:`~repro.api.spec.GraphQuery` (or fluent
+:class:`~repro.api.spec.Query` builder) and returns a unified
+:class:`~repro.api.result.ResultSet`::
+
+    import repro
+
+    with repro.connect(graphs, backend="indexed") as session:
+        result = session.execute(repro.Query(q).skyline().refine(k=2))
+        print(result.explain())
+
+Every entry point of the library (engine, executor, CLI, benches) routes
+through this layer, so swapping the backend never touches callers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from pathlib import Path
+from collections.abc import Iterable
+
+from repro.errors import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import measure_names
+from repro.core.diversity import refine_by_diversity
+from repro.db.database import GraphDatabase
+from repro.api.spec import GraphQuery, Query
+from repro.api.result import QueryPlan, ResultSet
+from repro.api.backends import (
+    ExecutionBackend,
+    IndexedBackend,
+    create_backend,
+)
+# Importing the module registers the "parallel" backend.
+from repro.api import parallel as _parallel  # noqa: F401
+
+
+class Session:
+    """An open connection between a database and an execution backend.
+
+    Parameters
+    ----------
+    database:
+        The target database.
+    backend:
+        A registered backend name (``memory``/``indexed``/``parallel``)
+        or a ready :class:`~repro.api.backends.ExecutionBackend` instance.
+    measures:
+        Session-wide default GCS dimensions, used whenever a spec leaves
+        ``measures`` unset (``None`` keeps the paper's default).
+    backend_options:
+        Forwarded to the backend constructor (e.g. ``use_index=False``,
+        ``cache=...``, ``max_workers=4``).
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        backend: "str | ExecutionBackend" = "memory",
+        measures: tuple[object, ...] | None = None,
+        **backend_options: object,
+    ) -> None:
+        self.database = database
+        self.default_measures = tuple(measures) if measures is not None else None
+        if isinstance(backend, ExecutionBackend):
+            if backend_options:
+                raise QueryError(
+                    "backend options cannot be combined with a backend instance"
+                )
+            self._backend = backend
+        else:
+            self._backend = create_backend(backend, database, **backend_options)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The live execution backend."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    def close(self) -> None:
+        """Release backend resources; further queries raise QueryError."""
+        if not self._closed:
+            self._backend.close()
+            self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session backend={self.backend_name!r} "
+            f"database={self.database.name!r} ({len(self.database)} graphs)>"
+        )
+
+    # -- planning and execution -----------------------------------------
+    def _materialize(self, query: "GraphQuery | Query") -> GraphQuery:
+        spec = query.build() if isinstance(query, Query) else query.validate()
+        if spec.measures is None and self.default_measures is not None:
+            spec = dataclasses.replace(
+                spec, measures=self.default_measures
+            ).validate()
+        return spec
+
+    def plan(self, query: "GraphQuery | Query") -> QueryPlan:
+        """How this session would execute ``query`` (no evaluation)."""
+        spec = self._materialize(query)
+        measures = ExecutionBackend._resolve_measures(spec)
+        if spec.kind in ("topk", "threshold"):
+            single = ExecutionBackend._single_measure(spec, measures)
+            names: tuple[str, ...] = (single.name,)
+        else:
+            names = measure_names(measures)
+        uses_index = (
+            isinstance(self._backend, IndexedBackend) and self._backend.use_index
+        )
+        workers = getattr(self._backend, "max_workers", 1)
+        return QueryPlan(
+            backend=self.backend_name,
+            kind=spec.kind,
+            database_size=len(self.database),
+            measures=names,
+            uses_index=uses_index,
+            workers=workers,
+        )
+
+    def execute(self, query: "GraphQuery | Query") -> ResultSet:
+        """Plan and run ``query``, returning the unified result set."""
+        if self._closed:
+            raise QueryError("session is closed")
+        spec = self._materialize(query)
+        plan = self.plan(spec)
+        answer = self._backend.run(spec)
+
+        refinement = None
+        if (
+            spec.refine_k is not None
+            and spec.kind in ("skyline", "skyband")
+            and spec.refine_k < len(answer.ids)
+        ):
+            refinement = refine_by_diversity(
+                [self.database.get(graph_id) for graph_id in answer.ids],
+                spec.refine_k,
+                measures=spec.refine_measures,
+                method=spec.refine_method,
+            )
+
+        ids = answer.ids
+        if spec.limit is not None:
+            ids = ids[: spec.limit]
+        return ResultSet(
+            spec=spec,
+            plan=plan,
+            database=self.database,
+            ids=ids,
+            evaluated_ids=answer.evaluated_ids,
+            vectors=answer.vectors,
+            distances=answer.distances,
+            stats=answer.stats,
+            refinement=refinement,
+        )
+
+
+def connect(
+    source: "GraphDatabase | Iterable[LabeledGraph] | str | os.PathLike",
+    backend: "str | ExecutionBackend" = "memory",
+    measures: tuple[object, ...] | None = None,
+    name: str = "graphdb",
+    **backend_options: object,
+) -> Session:
+    """Open a :class:`Session` over ``source``.
+
+    ``source`` may be a :class:`~repro.db.database.GraphDatabase` (used
+    as-is), an iterable of graphs (loaded into a fresh database), or a
+    path to a database JSON file saved with
+    :func:`repro.db.persistence.save_database`.
+    """
+    if isinstance(source, GraphDatabase):
+        database = source
+    elif isinstance(source, (str, os.PathLike, Path)):
+        from repro.db.persistence import load_database
+
+        database = load_database(source)
+    else:
+        database = GraphDatabase.from_graphs(source, name=name)
+    return Session(database, backend=backend, measures=measures, **backend_options)

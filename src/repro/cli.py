@@ -25,12 +25,8 @@ import sys
 from pathlib import Path
 from collections.abc import Sequence
 
+from repro.api import Query, available_backends, connect
 from repro.bench import render_table
-from repro.core import (
-    graph_similarity_skyline,
-    refine_by_diversity,
-    top_k_by_measure,
-)
 from repro.core.gcs import compound_similarity
 from repro.db.persistence import load_database, save_database
 from repro.db.database import GraphDatabase
@@ -53,52 +49,54 @@ def _parse_measures(spec: str | None) -> tuple[str, ...] | None:
 
 def _cmd_skyline(args: argparse.Namespace) -> int:
     database = load_database(args.database)
-    query = _load_graph(args.query)
-    result = graph_similarity_skyline(
-        database.graphs(),
-        query,
-        measures=_parse_measures(args.measures),
-        algorithm=args.algorithm,
-    )
+    builder = Query(_load_graph(args.query)).skyline(algorithm=args.algorithm)
+    measures = _parse_measures(args.measures)
+    if measures is not None:
+        builder = builder.measures(*measures)
+    if args.refine_k:
+        builder = builder.refine(k=args.refine_k)
+    with connect(database, backend=args.backend) as session:
+        result = session.execute(builder)
+    skyline_names = result.names
+    member = set(result.ids)
     if args.json:
         payload = {
             "measures": list(result.measures),
-            "skyline": [g.name for g in result.skyline],
+            "backend": result.plan.backend,
+            "skyline": skyline_names,
             "vectors": {
-                (g.name or str(i)): list(v.values)
-                for i, (g, v) in enumerate(zip(result.graphs, result.vectors))
+                (database.get(i).name or str(i)): list(result.vectors[i].values)
+                for i in sorted(result.evaluated_ids)
             },
         }
-        if args.refine_k and args.refine_k < len(result.skyline):
-            refined = refine_by_diversity(result.skyline, args.refine_k)
-            payload["refined"] = [g.name for g in refined.subset]
+        if result.refinement is not None:
+            payload["refined"] = [g.name for g in result.refinement.subset]
         print(json.dumps(payload, indent=1))
         return 0
     rows = [
-        [g.name or f"#{i}"]
-        + [round(value, 4) for value in v.values]
-        + ["*" if g in result.skyline else ""]
-        for i, (g, v) in enumerate(zip(result.graphs, result.vectors))
+        [database.get(i).name or f"#{i}"]
+        + [round(value, 4) for value in result.vectors[i].values]
+        + ["*" if i in member else ""]
+        for i in sorted(result.evaluated_ids)
     ]
     print(render_table(["graph", *result.measures, "skyline"], rows))
-    print(f"skyline: {[g.name for g in result.skyline]}")
-    if args.refine_k and args.refine_k < len(result.skyline):
-        refined = refine_by_diversity(result.skyline, args.refine_k)
+    print(f"skyline: {skyline_names}")
+    if result.refinement is not None:
         print(f"diverse subset (k={args.refine_k}): "
-              f"{[g.name for g in refined.subset]}")
+              f"{[g.name for g in result.refinement.subset]}")
     return 0
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
     database = load_database(args.database)
     query = _load_graph(args.query)
-    graphs = database.graphs()
-    result = top_k_by_measure(graphs, query, args.measure, args.k)
+    with connect(database, backend=args.backend) as session:
+        result = session.execute(Query(query).topk(args.k, measure=args.measure))
     rows = [
-        [rank + 1, graphs[index].name or f"#{index}", round(distance, 4)]
-        for rank, (index, distance) in enumerate(result.ranking)
+        [rank + 1, database.get(i).name or f"#{i}", round(result.distance(i), 4)]
+        for rank, i in enumerate(result.ids)
     ]
-    print(render_table(["rank", "graph", result.measure], rows))
+    print(render_table(["rank", "graph", result.measures[0]], rows))
     return 0
 
 
@@ -186,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sky.add_argument("--measures", default=None,
                        help=f"comma-separated; available: {', '.join(available_measures())}")
     p_sky.add_argument("--algorithm", default="bnl", choices=sorted(ALGORITHMS))
+    p_sky.add_argument("--backend", default="memory",
+                       choices=available_backends(),
+                       help="execution backend (default: memory; 'indexed' "
+                            "prunes via feature-index lower bounds, "
+                            "'parallel' fans evaluation over a process pool)")
     p_sky.add_argument("--refine-k", type=int, default=None,
                        help="refine the skyline to k diverse graphs")
     p_sky.add_argument("--json", action="store_true", help="machine-readable output")
@@ -196,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_topk.add_argument("query")
     p_topk.add_argument("--k", type=int, default=3)
     p_topk.add_argument("--measure", default="edit")
+    p_topk.add_argument("--backend", default="memory", choices=available_backends())
     p_topk.set_defaults(handler=_cmd_topk)
 
     p_dist = sub.add_parser("distance", help="GCS vector of a graph pair")

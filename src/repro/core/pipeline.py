@@ -1,11 +1,14 @@
-"""End-to-end query answering: GSS computation plus optional refinement.
+"""End-to-end query answering shim: GSS computation plus refinement.
 
-:class:`SimilarityQueryEngine` bundles a measure vector, a skyline
-algorithm choice and a diversity configuration into one object that can
-answer graph similarity queries over any sequence of graphs — the shape of
-the "system implementing it" the paper's conclusion announces. The
-database layer (:mod:`repro.db`) wraps this engine with storage, indexes
-and statistics.
+.. deprecated:: 1.0
+    :class:`SimilarityQueryEngine` is a thin compatibility shim over the
+    unified query API (:mod:`repro.api`): it opens a ``memory``-backend
+    :class:`~repro.api.session.Session` over the caller's graphs and
+    translates the unified :class:`~repro.api.result.ResultSet` back into
+    the legacy :class:`SkylineResult` / :class:`QueryAnswer` /
+    :class:`~repro.core.topk.TopKResult` shapes. New code should call
+    ``repro.connect(graphs).execute(repro.Query(q).skyline())`` directly;
+    this class is kept so existing callers keep working unchanged.
 """
 
 from __future__ import annotations
@@ -15,10 +18,15 @@ from collections.abc import Iterable, Sequence
 
 from repro.errors import QueryError
 from repro.graph.labeled_graph import LabeledGraph
-from repro.measures.base import DistanceMeasure, resolve_measures, default_measures
+from repro.measures.base import (
+    DistanceMeasure,
+    measure_names,
+    resolve_measures,
+    default_measures,
+)
 from repro.core.diversity import DiversityResult, refine_by_diversity
-from repro.core.gss import SkylineResult, graph_similarity_skyline
-from repro.core.topk import TopKResult, top_k_by_measure
+from repro.core.gss import SkylineResult
+from repro.core.topk import TopKResult
 
 
 @dataclass
@@ -38,6 +46,10 @@ class QueryAnswer:
 
 class SimilarityQueryEngine:
     """Answers graph similarity queries with the paper's skyline semantics.
+
+    .. deprecated:: 1.0
+        Shim over the unified query API; prefer
+        ``repro.connect(graphs).execute(repro.Query(q).skyline())``.
 
     Parameters
     ----------
@@ -66,16 +78,39 @@ class SimilarityQueryEngine:
         self.algorithm = algorithm
         self.tolerance = tolerance
 
+    def _execute(self, graphs: Sequence[LabeledGraph], spec_changes: dict):
+        """Run one spec over a view-session (graph identity preserved)."""
+        from repro.api.session import Session
+        from repro.api.spec import GraphQuery
+        from repro.db.database import GraphDatabase
+
+        database = GraphDatabase.from_graphs(graphs, copy=False)
+        session = Session(database, backend="memory")
+        spec = GraphQuery(
+            graph=spec_changes.pop("graph"),
+            measures=self.measures,
+            algorithm=self.algorithm,
+            tolerance=self.tolerance,
+            **spec_changes,
+        )
+        return session.execute(spec)
+
     def skyline(
         self,
         graphs: Sequence[LabeledGraph],
         query: LabeledGraph,
     ) -> SkylineResult:
         """``GSS(D, q)`` under this engine's configuration."""
-        return graph_similarity_skyline(
-            graphs,
-            query,
-            measures=self.measures,
+        graphs = list(graphs)
+        result = self._execute(graphs, {"graph": query, "kind": "skyline"})
+        # View-database ids are 0..n-1 in insertion order, so ids double
+        # as positions into ``graphs``.
+        return SkylineResult(
+            query=query,
+            graphs=graphs,
+            vectors=[result.vectors[i] for i in range(len(graphs))],
+            skyline_indices=result.ids,
+            measures=measure_names(self.measures),
             algorithm=self.algorithm,
             tolerance=self.tolerance,
         )
@@ -118,4 +153,13 @@ class SimilarityQueryEngine:
             if not self.measures:
                 raise QueryError("engine has no measures configured")
             measure = self.measures[0]
-        return top_k_by_measure(graphs, query, measure, k)
+        graphs = list(graphs)
+        result = self._execute(
+            graphs, {"graph": query, "kind": "topk", "k": k, "measure": measure}
+        )
+        return TopKResult(
+            query=query,
+            measure=result.measures[0],
+            k=k,
+            ranking=[(index, result.distances[index]) for index in result.ids],
+        )

@@ -41,6 +41,18 @@ class GraphDatabase:
         self._entries: dict[int, StoredGraph] = {}
         self._by_hash: dict[str, list[int]] = {}
         self._next_id = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every insert/remove.
+
+        Derived structures (the executor's feature index, the ``indexed``
+        backend) record the version they were built against and rebuild
+        themselves when it changes, so callers never need to remember to
+        call ``refresh_index()`` after mutating the database.
+        """
+        return self._version
 
     @classmethod
     def from_graphs(
@@ -48,13 +60,19 @@ class GraphDatabase:
         graphs: Iterable[LabeledGraph],
         name: str = "graphdb",
         deduplicate: bool = False,
+        copy: bool = True,
     ) -> "GraphDatabase":
-        """Bulk-load a database (optionally dropping isomorphic duplicates)."""
+        """Bulk-load a database (optionally dropping isomorphic duplicates).
+
+        ``copy=False`` stores the caller's graph objects directly (no
+        defensive copy) — used by view-style sessions that must preserve
+        graph identity; the caller promises not to mutate the graphs.
+        """
         database = cls(name=name)
         for graph in graphs:
             if deduplicate and database.find_isomorphic(graph) is not None:
                 continue
-            database.insert(graph)
+            database.insert(graph, copy=copy)
         return database
 
     # ------------------------------------------------------------------
@@ -64,11 +82,13 @@ class GraphDatabase:
         self,
         graph: LabeledGraph,
         metadata: Mapping[str, object] | None = None,
+        copy: bool = True,
     ) -> int:
-        """Store a copy of ``graph``; returns its id."""
+        """Store a copy of ``graph`` (the object itself when ``copy=False``);
+        returns its id."""
         entry = StoredGraph(
             graph_id=self._next_id,
-            graph=graph.copy(),
+            graph=graph.copy() if copy else graph,
             features=GraphFeatures.of(graph),
             iso_hash=canonical_hash(graph),
             metadata=dict(metadata) if metadata else {},
@@ -76,6 +96,7 @@ class GraphDatabase:
         self._entries[entry.graph_id] = entry
         self._by_hash.setdefault(entry.iso_hash, []).append(entry.graph_id)
         self._next_id += 1
+        self._version += 1
         return entry.graph_id
 
     def remove(self, graph_id: int) -> None:
@@ -87,6 +108,7 @@ class GraphDatabase:
         bucket.remove(graph_id)
         if not bucket:
             del self._by_hash[entry.iso_hash]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Lookup

@@ -1,7 +1,15 @@
-"""Query executor: index-pruned evaluation of similarity skylines.
+"""Query executor shim: index-pruned evaluation of similarity skylines.
 
-Naively, ``GSS(D, q)`` costs one exact GED and one exact MCS per database
-graph. The executor cuts this down with a sound optimisation:
+.. deprecated:: 1.0
+    :class:`SkylineExecutor` is a thin compatibility shim over the unified
+    query API — the same pruning now lives in
+    :class:`repro.api.backends.IndexedBackend` and is reached through
+    ``repro.connect(db, backend="indexed")`` with a declarative
+    :class:`repro.api.Query`. New code should use the session API; this
+    class is kept so existing callers (and the reproduction benches)
+    continue to work unchanged.
+
+The pruning idea (unchanged, now implemented by the ``indexed`` backend):
 
 1. compute each graph's *optimistic* (lower-bound) GCS vector from index
    features only — no solving;
@@ -9,9 +17,8 @@ graph. The executor cuts this down with a sound optimisation:
    (likely-similar graphs first, so strong dominators are found early);
 3. before evaluating a candidate exactly, check whether some already
    evaluated exact vector Pareto-dominates the candidate's optimistic
-   vector. Because optimistic ≤ exact componentwise, domination of the
-   optimistic vector implies domination of the true vector — the candidate
-   can never be in the skyline and its exact evaluation is skipped;
+   vector — such a candidate can never be in the skyline and its exact
+   evaluation is skipped;
 4. run a generic skyline algorithm over the surviving exact vectors.
 
 Pruned graphs never enter the skyline, so the result is identical to the
@@ -22,11 +29,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graph.features import GraphFeatures
 from repro.graph.labeled_graph import LabeledGraph
 from repro.measures.base import (
     DistanceMeasure,
-    PairContext,
     default_measures,
     measure_names,
     resolve_measures,
@@ -34,10 +39,7 @@ from repro.measures.base import (
 from repro.core.diversity import DiversityResult, refine_by_diversity
 from repro.core.gcs import CompoundSimilarity
 from repro.db.database import GraphDatabase
-from repro.db.index import FeatureIndex
-from repro.db.stats import PhaseTimer, QueryStats
-from repro.skyline import skyline as vector_skyline
-from repro.skyline.utils import dominates
+from repro.db.stats import QueryStats
 
 
 @dataclass
@@ -63,17 +65,24 @@ class ExecutionResult:
 class SkylineExecutor:
     """Executes skyline queries over a :class:`GraphDatabase`.
 
+    .. deprecated:: 1.0
+        Shim over :class:`repro.api.backends.IndexedBackend`; prefer
+        ``repro.connect(database, backend="indexed")``.
+
     Parameters
     ----------
     database:
-        The target database (indexed on construction).
+        The target database (indexed on construction; the index heals
+        itself after database mutations).
     measures:
         GCS dimensions (default: the paper's three).
     algorithm:
         Generic skyline algorithm over exact vectors.
     use_index:
-        Enable the lower-bound pruning described in the module docstring;
-        disabling it evaluates every graph (ablation A4).
+        Enable the lower-bound pruning; disabling it evaluates every
+        graph (ablation A4).
+    cache:
+        Optional :class:`repro.db.cache.QueryCache` shared across queries.
     """
 
     def __init__(
@@ -85,7 +94,7 @@ class SkylineExecutor:
         use_index: bool = True,
         cache: "QueryCache | None" = None,
     ) -> None:
-        from repro.db.cache import QueryCache
+        from repro.api.backends import IndexedBackend
 
         self.database = database
         self.measures: tuple[DistanceMeasure, ...] = (
@@ -95,36 +104,36 @@ class SkylineExecutor:
         self.tolerance = tolerance
         self.use_index = use_index
         self.cache = cache
-        self.index = FeatureIndex()
-        for entry in database.entries():
-            self.index.add(entry.graph_id, entry.features)
+        self._backend = IndexedBackend(database, use_index=use_index, cache=cache)
 
-    def _evaluate_pair(
-        self,
-        graph_id: int,
-        query: LabeledGraph,
-        names: tuple[str, ...],
-    ) -> tuple[tuple[float, ...], bool]:
-        """Exact GCS vector of (graph_id, query); True when cache-served."""
-        if self.cache is not None:
-            query_hash = self.cache.query_hash(query)
-            cached = self.cache.get(graph_id, query_hash, names)
-            if cached is not None:
-                return cached, True
-        graph = self.database.get(graph_id)
-        context = PairContext(graph, query)
-        values = tuple(
-            measure.distance(graph, query, context) for measure in self.measures
-        )
-        if self.cache is not None:
-            self.cache.put(graph_id, query_hash, names, values)
-        return values, False
+    @property
+    def index(self):
+        """The live feature index (owned by the ``indexed`` backend)."""
+        return self._backend.index
 
     def refresh_index(self) -> None:
-        """Re-sync the index after database mutations."""
-        self.index = FeatureIndex()
-        for entry in self.database.entries():
-            self.index.add(entry.graph_id, entry.features)
+        """Force an index rebuild.
+
+        Kept for API compatibility; the index now also refreshes itself
+        automatically whenever the database's mutation version changes.
+        """
+        self._backend.refresh_index()
+
+    def _candidate_order(self, query_features) -> list[tuple[int, tuple[float, ...]]]:
+        """(id, optimistic vector) pairs, most promising first (legacy hook)."""
+        self._backend._ensure_index()
+        return self._backend._candidate_order(query_features, self.measures)
+
+    def _spec(self, query: LabeledGraph, **changes) -> "GraphQuery":
+        from repro.api.spec import GraphQuery
+
+        return GraphQuery(
+            graph=query,
+            measures=self.measures,
+            algorithm=self.algorithm,
+            tolerance=self.tolerance,
+            **changes,
+        )
 
     def execute(
         self,
@@ -133,108 +142,27 @@ class SkylineExecutor:
         refine_method: str = "exhaustive",
     ) -> ExecutionResult:
         """Compute ``GSS(D, q)``, optionally refined to ``refine_k`` graphs."""
-        stats = QueryStats(database_size=len(self.database))
-        query_features = GraphFeatures.of(query)
-        names = measure_names(self.measures)
-
-        with PhaseTimer(stats, "bounds"):
-            order = self._candidate_order(query_features)
-
-        evaluated: dict[int, CompoundSimilarity] = {}
-        exact_vectors: list[tuple[float, ...]] = []
-        with PhaseTimer(stats, "evaluate"):
-            for graph_id, optimistic in order:
-                stats.candidates_considered += 1
-                if self.use_index and any(
-                    dominates(vector, optimistic, self.tolerance)
-                    for vector in exact_vectors
-                ):
-                    stats.pruned_by_index += 1
-                    continue
-                values, from_cache = self._evaluate_pair(graph_id, query, names)
-                evaluated[graph_id] = CompoundSimilarity(values=values, measures=names)
-                exact_vectors.append(values)
-                if not from_cache:
-                    stats.exact_evaluations += 1
-
-        with PhaseTimer(stats, "skyline"):
-            ids = list(evaluated)
-            vectors = [evaluated[graph_id].values for graph_id in ids]
-            member_positions = vector_skyline(
-                vectors, algorithm=self.algorithm, tolerance=self.tolerance
-            )
-            skyline_ids = sorted(ids[position] for position in member_positions)
-        stats.skyline_size = len(skyline_ids)
-
+        answer = self._backend.run(self._spec(query, kind="skyline"))
         refinement = None
-        if refine_k is not None and refine_k < len(skyline_ids):
-            with PhaseTimer(stats, "refine"):
-                refinement = refine_by_diversity(
-                    [self.database.get(graph_id) for graph_id in skyline_ids],
-                    refine_k,
-                    method=refine_method,
-                )
+        if refine_k is not None and refine_k < len(answer.ids):
+            refinement = refine_by_diversity(
+                [self.database.get(graph_id) for graph_id in answer.ids],
+                refine_k,
+                method=refine_method,
+            )
         return ExecutionResult(
             query=query,
-            measures=names,
-            evaluated=evaluated,
-            skyline_ids=skyline_ids,
-            stats=stats,
+            measures=measure_names(self.measures),
+            evaluated=answer.vectors,
+            skyline_ids=answer.ids,
+            stats=answer.stats,
             refinement=refinement,
         )
 
-    def _candidate_order(
-        self, query_features: GraphFeatures
-    ) -> list[tuple[int, tuple[float, ...]]]:
-        """(id, optimistic vector) pairs, most promising candidates first."""
-        order = []
-        for graph_id in self.database.ids():
-            optimistic = self.index.optimistic_vector(
-                graph_id, query_features, self.measures
-            )
-            order.append((graph_id, optimistic))
-        order.sort(key=lambda item: (sum(item[1]), item[0]))
-        return order
-
-    def skyband_search(
-        self,
-        query: LabeledGraph,
-        k: int,
-    ) -> list[int]:
-        """Ids in the k-skyband of the GCS vectors (k = 1 is the skyline).
-
-        Pruning stays sound: a candidate whose *optimistic* vector is
-        dominated by ``k`` exact vectors is dominated by at least ``k``
-        graphs, and by transitivity so is anything it would have
-        dominated — skipping it cannot change skyband membership.
-        """
-        from repro.skyline.skyband import k_skyband
-
-        if k < 1:
-            raise ValueError("k must be at least 1")
-        query_features = GraphFeatures.of(query)
-        order = self._candidate_order(query_features)
-        names = measure_names(self.measures)
-        evaluated_ids: list[int] = []
-        exact_vectors: list[tuple[float, ...]] = []
-        for graph_id, optimistic in order:
-            if self.use_index:
-                dominators = sum(
-                    1
-                    for vector in exact_vectors
-                    if dominates(vector, optimistic, self.tolerance)
-                )
-                if dominators >= k:
-                    continue
-            graph = self.database.get(graph_id)
-            context = PairContext(graph, query)
-            values = tuple(
-                measure.distance(graph, query, context) for measure in self.measures
-            )
-            evaluated_ids.append(graph_id)
-            exact_vectors.append(values)
-        member_positions = k_skyband(exact_vectors, k, tolerance=self.tolerance)
-        return sorted(evaluated_ids[position] for position in member_positions)
+    def skyband_search(self, query: LabeledGraph, k: int) -> list[int]:
+        """Ids in the k-skyband of the GCS vectors (k = 1 is the skyline)."""
+        answer = self._backend.run(self._spec(query, kind="skyband", k=k))
+        return answer.ids
 
     def top_k_search(
         self,
@@ -244,37 +172,13 @@ class SkylineExecutor:
     ) -> list[tuple[int, float]]:
         """Index-accelerated single-measure top-k (ids with distances).
 
-        Classic bound-based pruning: candidates are visited in ascending
-        lower-bound order; once ``k`` exact distances are known, any
-        candidate whose lower bound exceeds the current k-th best distance
-        can be skipped, and because bounds are sorted the scan stops at
-        the first such candidate. Results match
-        :func:`repro.core.topk.top_k_by_measure` exactly (ties broken by
-        id).
+        Results match :func:`repro.core.topk.top_k_by_measure` exactly
+        (ties broken by id).
         """
-        from repro.measures.base import get_measure
-
-        if k < 1:
-            raise ValueError("k must be at least 1")
-        resolved = get_measure(measure)
-        query_features = GraphFeatures.of(query)
-        bounded = sorted(
-            (
-                (self.index.optimistic_vector(graph_id, query_features, (resolved,))[0],
-                 graph_id)
-                for graph_id in self.database.ids()
-            ),
+        answer = self._backend.run(
+            self._spec(query, kind="topk", k=k, measure=measure)
         )
-        best: list[tuple[float, int]] = []
-        for lower_bound, graph_id in bounded:
-            if self.use_index and len(best) >= k and lower_bound > best[-1][0]:
-                break  # every later candidate has an even larger bound
-            graph = self.database.get(graph_id)
-            distance = resolved.distance(graph, query, PairContext(graph, query))
-            best.append((distance, graph_id))
-            best.sort()
-            del best[k:]
-        return [(graph_id, distance) for distance, graph_id in best]
+        return [(graph_id, answer.distances[graph_id]) for graph_id in answer.ids]
 
     def threshold_search(
         self,
@@ -287,18 +191,7 @@ class SkylineExecutor:
         Uses index lower bounds to skip provably-too-far graphs, then
         verifies the survivors exactly. Results are sorted by distance.
         """
-        from repro.measures.base import get_measure
-
-        resolved = get_measure(measure)
-        query_features = GraphFeatures.of(query)
-        candidates = self.index.threshold_candidates(
-            query_features, resolved, threshold
+        answer = self._backend.run(
+            self._spec(query, kind="threshold", threshold=threshold, measure=measure)
         )
-        matches = []
-        for graph_id in candidates:
-            graph = self.database.get(graph_id)
-            distance = resolved.distance(graph, query, PairContext(graph, query))
-            if distance <= threshold:
-                matches.append((graph_id, distance))
-        matches.sort(key=lambda item: (item[1], item[0]))
-        return matches
+        return [(graph_id, answer.distances[graph_id]) for graph_id in answer.ids]

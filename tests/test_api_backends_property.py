@@ -1,0 +1,81 @@
+"""Property test: every execution backend returns identical answer sets.
+
+The api layer's core contract — ``memory``, ``indexed`` and ``parallel``
+may do arbitrarily different amounts of work, but for any database and any
+query they must return exactly the same skyline / skyband / top-k ids.
+Hypothesis drives random small databases and query graphs through all
+three backends and compares the id sets; the serial exhaustive ``memory``
+backend is the reference semantics.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Query, connect
+from repro.db import GraphDatabase
+
+from tests.conftest import small_labeled_graphs
+
+BACKENDS = ("memory", "indexed", "parallel")
+
+databases = st.lists(
+    small_labeled_graphs(max_vertices=4, connected=True), min_size=1, max_size=5
+)
+queries = small_labeled_graphs(max_vertices=4, connected=True)
+
+relaxed = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _answers(graphs, build):
+    database = GraphDatabase.from_graphs(graphs)
+    ids = {}
+    for backend in BACKENDS:
+        options = {"max_workers": 2} if backend == "parallel" else {}
+        with connect(database, backend=backend, **options) as session:
+            ids[backend] = set(session.execute(build()).ids)
+    return ids
+
+
+@relaxed
+@given(graphs=databases, query=queries)
+def test_skyline_parity_across_backends(graphs, query):
+    ids = _answers(graphs, lambda: Query(query).measures("edit", "mcs").skyline())
+    assert ids["memory"] == ids["indexed"] == ids["parallel"]
+    assert ids["memory"]  # a non-empty database always has a skyline
+
+
+@relaxed
+@given(graphs=databases, query=queries, k=st.integers(min_value=1, max_value=3))
+def test_skyband_parity_across_backends(graphs, query, k):
+    ids = _answers(graphs, lambda: Query(query).measures("edit", "mcs").skyband(k))
+    assert ids["memory"] == ids["indexed"] == ids["parallel"]
+
+
+@relaxed
+@given(graphs=databases, query=queries, k=st.integers(min_value=1, max_value=4))
+def test_topk_parity_across_backends(graphs, query, k):
+    database = GraphDatabase.from_graphs(graphs)
+    rankings = {}
+    for backend in BACKENDS:
+        options = {"max_workers": 2} if backend == "parallel" else {}
+        with connect(database, backend=backend, **options) as session:
+            result = session.execute(Query(query).topk(k, "edit"))
+            rankings[backend] = [(i, result.distance(i)) for i in result.ids]
+    assert rankings["memory"] == rankings["indexed"] == rankings["parallel"]
+
+
+@relaxed
+@given(
+    graphs=databases,
+    query=queries,
+    threshold=st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+)
+def test_threshold_parity_across_backends(graphs, query, threshold):
+    ids = _answers(
+        graphs, lambda: Query(query).measures("edit").threshold(threshold, "edit")
+    )
+    assert ids["memory"] == ids["indexed"] == ids["parallel"]
