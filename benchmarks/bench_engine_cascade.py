@@ -1,0 +1,118 @@
+"""Bench A7 — staged engine: cascade ablation and PairCache warm/cold.
+
+Runs one skyline workload through engine plans that differ in exactly one
+stage at a time:
+
+* ``memory``          — empty cascade, serial evaluator (reference);
+* ``indexed``         — + feature-bound Pareto pruning;
+* ``cache-cold``      — pruning + an empty shared :class:`PairCache`;
+* ``cache-warm``      — the same plan again, pairs already cached;
+* ``refined-warm``    — a *refined* query (same graph, measure subset)
+                        over the warm cache: cross-query/measure re-use;
+* ``parallel``        — pooled evaluator, no cascade.
+
+All variants must return the identical answer set. The warm run must do
+zero exact evaluations and beat the cold run's wall-clock — the
+acceptance criterion of the staged-engine refactor. Results are printed
+as a table and written to ``BENCH_engine.json`` next to this file, so CI
+can archive the numbers.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import GraphDatabase, PairCache, Query
+from repro.bench import render_table
+from repro.datasets import make_workload
+
+N_GRAPHS = 32
+OUTPUT = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+@pytest.fixture(scope="module")
+def workload_db():
+    workload = make_workload(n_graphs=N_GRAPHS, query_size=7, seed=42)
+    return GraphDatabase.from_graphs(workload.database), workload.queries[0]
+
+
+def _run(database, spec, backend, **options):
+    with repro.connect(database, backend=backend, **options) as session:
+        start = time.perf_counter()
+        result = session.execute(spec)
+        elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+@pytest.mark.benchmark(group="a7-engine-cascade")
+def test_cascade_ablation_and_cache_warmup(workload_db):
+    database, query = workload_db
+    skyline = Query(query).skyline()
+    cache = PairCache()
+
+    runs = {}
+    runs["memory"] = _run(database, skyline, "memory")
+    runs["indexed"] = _run(database, skyline, "indexed")
+    runs["cache-cold"] = _run(database, skyline, "indexed", cache=cache)
+    runs["cache-warm"] = _run(database, skyline, "indexed", cache=cache)
+    refined = Query(query).measures("edit", "mcs").skyline()
+    runs["refined-warm"] = _run(database, refined, "indexed", cache=cache)
+    runs["parallel"] = _run(database, skyline, "parallel")
+
+    rows = []
+    payload = {"workload": {"n_graphs": N_GRAPHS, "seed": 42}, "variants": {}}
+    for variant, (result, elapsed) in runs.items():
+        stats = result.stats
+        rows.append([
+            variant,
+            round(elapsed * 1000, 1),
+            stats.exact_evaluations,
+            stats.pruned_by_index,
+            stats.served_from_cache,
+            len(result.ids),
+        ])
+        payload["variants"][variant] = {
+            "seconds": elapsed,
+            "exact_evaluations": stats.exact_evaluations,
+            "pruned_by_index": stats.pruned_by_index,
+            "served_from_cache": stats.served_from_cache,
+            "answer_size": len(result.ids),
+            "answer": result.names,
+        }
+    print()
+    print(render_table(
+        ["variant", "ms", "exact evals", "pruned", "cached", "answer"],
+        rows,
+        title=f"A7 — cascade ablation + cache warm/cold (n={N_GRAPHS})",
+    ))
+    OUTPUT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+    # Identical answers across every plan variant (refined queries aside).
+    reference = runs["memory"][0].names
+    for variant in ("indexed", "cache-cold", "cache-warm", "parallel"):
+        assert runs[variant][0].names == reference, variant
+
+    # Each stage must save the work it claims to save.
+    assert (
+        runs["indexed"][0].stats.exact_evaluations
+        <= runs["memory"][0].stats.exact_evaluations
+    )
+    warm_result, warm_elapsed = runs["cache-warm"]
+    cold_result, cold_elapsed = runs["cache-cold"]
+    assert warm_result.stats.exact_evaluations == 0
+    assert warm_elapsed < cold_elapsed, (
+        f"warm cache {warm_elapsed:.4f}s not faster than cold {cold_elapsed:.4f}s"
+    )
+    # The refined query re-uses every pair the full query solved: the only
+    # pairs it may still solve are candidates the cold run pruned before
+    # caching (a differently-shaped cascade can let them through).
+    refined_stats = runs["refined-warm"][0].stats
+    assert refined_stats.served_from_cache > 0
+    assert (
+        refined_stats.exact_evaluations
+        <= runs["cache-cold"][0].stats.pruned_by_index
+    )

@@ -31,6 +31,7 @@ The original functional core remains available:
 Packages
 --------
 ``repro.api``       declarative queries, sessions, pluggable backends
+``repro.engine``    staged evaluation engine: plans, cascade, live views
 ``repro.graph``     labeled graphs, isomorphism, MCS, exact/approx GED
 ``repro.measures``  DistEd / DistMcs / DistGu (+ extensions)
 ``repro.skyline``   generic Pareto skyline algorithms
@@ -81,10 +82,11 @@ from repro.core import (
     similarity_dominates,
     top_k_by_measure,
 )
-from repro.db import GraphDatabase, SkylineExecutor
+from repro.db import GraphDatabase, PairCache, SkylineExecutor
 from repro.api import (
     ExecutionBackend,
     GraphQuery,
+    LiveView,
     Query,
     QueryPlan,
     ResultSet,
@@ -139,6 +141,7 @@ __all__ = [
     "QueryAnswer",
     # db
     "GraphDatabase",
+    "PairCache",
     "SkylineExecutor",
     # api
     "GraphQuery",
@@ -150,4 +153,5 @@ __all__ = [
     "ExecutionBackend",
     "register_backend",
     "available_backends",
+    "LiveView",
 ]

@@ -1,0 +1,22 @@
+"""Once-per-process deprecation warnings for the legacy entry points.
+
+The deprecated shims (:class:`~repro.core.pipeline.SimilarityQueryEngine`,
+:class:`~repro.db.executor.SkylineExecutor`) are still exercised by every
+legacy caller and by the reproduction benches, so warning on every
+construction would flood interactive sessions. Each shim warns exactly
+once per process; tests reset :data:`_WARNED` to assert the warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_WARNED: set[str] = set()
+
+
+def warn_deprecated_once(key: str, message: str) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` the first time it is seen."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)

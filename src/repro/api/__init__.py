@@ -12,7 +12,11 @@ The unified API the rest of the library routes through:
 * :class:`ExecutionBackend` — the strategy ABC behind
   :func:`register_backend`; shipped backends are ``memory`` (serial
   exhaustive), ``indexed`` (feature-index lower-bound pruning) and
-  ``parallel`` (process-pool fan-out).
+  ``parallel`` (process-pool fan-out) — all thin plan configurations
+  over the staged engine (:mod:`repro.engine`), all accepting a shared
+  ``cache=`` (:class:`repro.db.cache.PairCache`);
+* :class:`LiveView` — ``Session.watch(query)``: a materialized skyline
+  kept incrementally correct under database mutation.
 
 The legacy entry points (:class:`repro.core.SimilarityQueryEngine`,
 :class:`repro.db.SkylineExecutor`) are thin deprecated shims over this
@@ -37,6 +41,7 @@ from repro.api.backends import (
 from repro.api.parallel import ParallelBackend, shutdown_pool
 from repro.api.result import QueryPlan, ResultSet
 from repro.api.session import Session, connect
+from repro.engine.views import LiveView
 
 __all__ = [
     "GraphQuery",
@@ -56,4 +61,5 @@ __all__ = [
     "ResultSet",
     "Session",
     "connect",
+    "LiveView",
 ]

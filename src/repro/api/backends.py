@@ -1,46 +1,65 @@
-"""Pluggable execution backends behind the declarative query API.
+"""Pluggable execution backends: thin plan configurations over the engine.
 
 A backend knows how to answer any :class:`~repro.api.spec.GraphQuery`
-against a :class:`~repro.db.database.GraphDatabase`. All backends return
-identical answer *sets* (property-tested) and differ only in how much work
-they do:
+against a :class:`~repro.db.database.GraphDatabase`. Since the staged
+engine refactor, no backend owns a candidate loop: each one merely
+configures an :class:`~repro.engine.plan.EvaluationPlan` — candidate
+source, pruning cascade, evaluator — and :func:`repro.engine.run_plan`
+executes it. All backends return identical answer *sets*
+(property-tested) and differ only in how much work they do:
 
-* ``memory``  — serial exhaustive evaluation, one exact GCS vector per
-  database graph (the reference semantics);
-* ``indexed`` — feature-index lower-bound pruning: candidates whose
-  optimistic vector is already dominated never reach the exact solvers;
-* ``parallel`` — exhaustive evaluation fanned across a process pool in
-  chunks (:mod:`repro.api.parallel`).
+* ``memory``  — database-order source, empty cascade, serial evaluator
+  (the reference semantics);
+* ``indexed`` — bound-ordered source, :func:`~repro.engine.bound_pruning`
+  cascade stage: candidates whose optimistic vector is already dominated
+  never reach the exact solvers;
+* ``parallel`` — database-order source, chunked process-pool evaluator
+  (:class:`~repro.engine.PooledEvaluator`).
 
-Backends are registered by name (:func:`register_backend`) so sessions can
-be opened with ``repro.connect(db, backend="indexed")`` and new strategies
-(e.g. remote or cached executors) can plug in without touching callers.
+Every backend accepts ``cache=`` (a :class:`~repro.db.cache.PairCache`
+or legacy :class:`~repro.db.cache.QueryCache`), which appends the
+cached-pairs cascade stage — pruning, caching and batching compose
+instead of living in per-backend code paths.
+
+Backends are registered by name (:func:`register_backend`) so sessions
+can be opened with ``repro.connect(db, backend="indexed")`` and new
+strategies plug in without touching callers.
 """
 
 from __future__ import annotations
 
 import abc
-from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.errors import QueryError
-from repro.graph.features import GraphFeatures
-from repro.measures.base import (
-    DistanceMeasure,
-    PairContext,
-    default_measures,
-    get_measure,
-    measure_names,
-    resolve_measures,
-)
+from repro.measures.base import DistanceMeasure
 from repro.core.gcs import CompoundSimilarity
 from repro.db.database import GraphDatabase
 from repro.db.index import FeatureIndex
-from repro.db.stats import PhaseTimer, QueryStats
-from repro.skyline import skyline as vector_skyline
-from repro.skyline.skyband import k_skyband
-from repro.skyline.utils import dominates
+from repro.db.stats import QueryStats
 from repro.api.spec import GraphQuery
+from repro.engine.core import resolved_measures, run_plan, single_measure
+from repro.engine.evaluate import SerialEvaluator
+from repro.engine.plan import (
+    BoundOrderedSource,
+    CachedPairStage,
+    DatabaseOrderSource,
+    EvaluationPlan,
+    ParetoPruneStage,
+    RankBoundStage,
+    ThresholdBoundStage,
+    bound_pruning,
+    cached_pairs,
+)
+
+#: Display label of the bound-pruning stage per query kind (mirrors the
+#: dispatch in :func:`repro.engine.plan.bound_pruning`).
+_BOUND_STAGE_LABELS = {
+    "skyline": ParetoPruneStage.name,
+    "skyband": ParetoPruneStage.name,
+    "topk": RankBoundStage.name,
+    "threshold": ThresholdBoundStage.name,
+}
 
 
 @dataclass
@@ -50,7 +69,8 @@ class BackendAnswer:
     ``ids`` is the answer set (sorted for skyline/skyband, ranked for
     topk/threshold); ``vectors`` holds the exact GCS vectors of every
     evaluated graph (pruned ids absent); ``distances`` carries the
-    single-measure values for topk/threshold kinds.
+    single-measure values for topk/threshold kinds; ``pruned_ids`` are
+    the candidates a cascade stage proved irrelevant (never evaluated).
     """
 
     ids: list[int]
@@ -58,107 +78,49 @@ class BackendAnswer:
     vectors: dict[int, CompoundSimilarity]
     distances: dict[int, float] | None
     stats: QueryStats = field(default_factory=QueryStats)
+    pruned_ids: list[int] = field(default_factory=list)
 
 
 class ExecutionBackend(abc.ABC):
-    """Strategy interface: executes validated query specs over a database."""
+    """Strategy interface: configures evaluation plans for query specs."""
 
     #: Registry key; subclasses must override.
     name: str = "abstract"
 
     def __init__(self, database: GraphDatabase) -> None:
         self.database = database
+        self.cache = None
+
+    @abc.abstractmethod
+    def build_plan(self, spec: GraphQuery) -> EvaluationPlan:
+        """The evaluation plan this backend uses for ``spec``."""
 
     def run(self, spec: GraphQuery) -> BackendAnswer:
         """Answer ``spec`` (validated first) against the bound database."""
         spec.validate()
-        measures = self._resolve_measures(spec)
-        if spec.kind == "skyline":
-            return self._skyline(spec, measures)
-        if spec.kind == "skyband":
-            return self._skyband(spec, measures)
-        if spec.kind == "topk":
-            return self._topk(spec, self._single_measure(spec, measures))
-        return self._threshold(spec, self._single_measure(spec, measures))
+        return run_plan(self.database, spec, self.build_plan(spec), cache=self.cache)
 
     def close(self) -> None:
         """Release backend resources (pools, sockets); default no-op."""
 
-    # -- helpers shared by implementations -----------------------------
+    # -- helpers shared with the session planner ------------------------
     @staticmethod
     def _resolve_measures(spec: GraphQuery) -> tuple[DistanceMeasure, ...]:
-        if spec.measures is None:
-            return default_measures()
-        return resolve_measures(spec.measures)
+        return resolved_measures(spec)
 
     @staticmethod
     def _single_measure(
         spec: GraphQuery, measures: tuple[DistanceMeasure, ...]
     ) -> DistanceMeasure:
         """The measure of a topk/threshold query (first dimension default)."""
-        if spec.measure is not None:
-            return get_measure(spec.measure)
-        return measures[0]
+        return single_measure(spec, measures)
 
-    def _finish_vectors(
-        self,
-        spec: GraphQuery,
-        vectors: dict[int, CompoundSimilarity],
-        stats: QueryStats,
-    ) -> BackendAnswer:
-        """Shared selection step: skyline or k-skyband over exact vectors.
+    def _cache_stages(self) -> tuple:
+        """Cascade tail shared by every backend: cached pairs, when enabled."""
+        return (cached_pairs,) if self.cache is not None else ()
 
-        Every backend funnels through this (and :meth:`_finish_distances`),
-        so answer-set semantics — algorithm choice, tolerance, tie-breaks —
-        are defined exactly once and the backend-parity contract cannot
-        drift per backend.
-        """
-        with PhaseTimer(stats, "skyline"):
-            ids = list(vectors)
-            values = [vectors[i].values for i in ids]
-            if spec.kind == "skyband":
-                positions = k_skyband(values, spec.k, tolerance=spec.tolerance)
-            else:
-                positions = vector_skyline(
-                    values, algorithm=spec.algorithm, tolerance=spec.tolerance
-                )
-            answer = sorted(ids[p] for p in positions)
-        stats.skyline_size = len(answer)
-        return BackendAnswer(answer, ids, vectors, None, stats)
-
-    def _finish_distances(
-        self,
-        spec: GraphQuery,
-        distances: dict[int, float],
-        stats: QueryStats,
-    ) -> BackendAnswer:
-        """Shared ranking step: top-k cut or threshold filter, ties by id."""
-        if spec.kind == "topk":
-            answer = sorted(distances, key=lambda i: (distances[i], i))[: spec.k]
-        else:
-            answer = [i for i in distances if distances[i] <= spec.threshold]
-            answer.sort(key=lambda i: (distances[i], i))
-        return BackendAnswer(answer, list(distances), {}, distances, stats)
-
-    @abc.abstractmethod
-    def _skyline(
-        self, spec: GraphQuery, measures: tuple[DistanceMeasure, ...]
-    ) -> BackendAnswer:
-        """Pareto-optimal ids under the GCS vector."""
-
-    @abc.abstractmethod
-    def _skyband(
-        self, spec: GraphQuery, measures: tuple[DistanceMeasure, ...]
-    ) -> BackendAnswer:
-        """Ids dominated by fewer than ``spec.k`` graphs."""
-
-    @abc.abstractmethod
-    def _topk(self, spec: GraphQuery, measure: DistanceMeasure) -> BackendAnswer:
-        """The ``spec.k`` closest ids under one measure (ties by id)."""
-
-    @abc.abstractmethod
-    def _threshold(self, spec: GraphQuery, measure: DistanceMeasure) -> BackendAnswer:
-        """Ids within ``spec.threshold`` under one measure, nearest first."""
+    def _cache_labels(self) -> tuple[str, ...]:
+        return (CachedPairStage.name,) if self.cache is not None else ()
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} over {self.database!r}>"
@@ -202,49 +164,17 @@ class MemoryBackend(ExecutionBackend):
 
     name = "memory"
 
-    def _all_vectors(
-        self, spec: GraphQuery, measures: tuple[DistanceMeasure, ...], stats: QueryStats
-    ) -> dict[int, CompoundSimilarity]:
-        names = measure_names(measures)
-        vectors: dict[int, CompoundSimilarity] = {}
-        with PhaseTimer(stats, "evaluate"):
-            for graph_id, graph in self.database:
-                stats.candidates_considered += 1
-                context = PairContext(graph, spec.graph)
-                values = tuple(
-                    measure.distance(graph, spec.graph, context)
-                    for measure in measures
-                )
-                vectors[graph_id] = CompoundSimilarity(values=values, measures=names)
-                stats.exact_evaluations += 1
-        return vectors
+    def __init__(self, database: GraphDatabase, cache=None) -> None:
+        super().__init__(database)
+        self.cache = cache
 
-    def _skyline(self, spec, measures):
-        stats = QueryStats(database_size=len(self.database))
-        vectors = self._all_vectors(spec, measures, stats)
-        return self._finish_vectors(spec, vectors, stats)
-
-    _skyband = _skyline  # same exhaustive evaluation; _finish_vectors branches
-
-    def _single_distances(
-        self, spec: GraphQuery, measure: DistanceMeasure, stats: QueryStats
-    ) -> dict[int, float]:
-        distances: dict[int, float] = {}
-        with PhaseTimer(stats, "evaluate"):
-            for graph_id, graph in self.database:
-                stats.candidates_considered += 1
-                distances[graph_id] = measure.distance(
-                    graph, spec.graph, PairContext(graph, spec.graph)
-                )
-                stats.exact_evaluations += 1
-        return distances
-
-    def _topk(self, spec, measure):
-        stats = QueryStats(database_size=len(self.database))
-        distances = self._single_distances(spec, measure, stats)
-        return self._finish_distances(spec, distances, stats)
-
-    _threshold = _topk  # same exhaustive evaluation; _finish_distances branches
+    def build_plan(self, spec: GraphQuery) -> EvaluationPlan:
+        return EvaluationPlan(
+            source=DatabaseOrderSource(),
+            cascade=self._cache_stages(),
+            evaluator=SerialEvaluator(),
+            stage_labels=self._cache_labels(),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -253,13 +183,13 @@ class MemoryBackend(ExecutionBackend):
 class IndexedBackend(ExecutionBackend):
     """Prunes never-in-the-answer candidates via sound index lower bounds.
 
-    The pruning argument (see :mod:`repro.db.executor`): optimistic vectors
-    are componentwise ≤ the exact vectors, so a candidate whose optimistic
-    vector is already Pareto-dominated by an exact vector can never enter
-    the skyline. The index is *self-healing*: database mutations bump
-    :attr:`GraphDatabase.version`, and every query checks the recorded
-    version before trusting the index — no manual ``refresh_index()``
-    required.
+    The pruning argument (see :mod:`repro.engine.plan`): optimistic
+    vectors are componentwise ≤ the exact vectors, so a candidate whose
+    optimistic vector is already Pareto-dominated by an exact vector can
+    never enter the skyline. The index is *self-healing*: database
+    mutations bump :attr:`GraphDatabase.version`, and every query checks
+    the recorded version before trusting the index — no manual
+    ``refresh_index()`` required.
     """
 
     name = "indexed"
@@ -268,7 +198,7 @@ class IndexedBackend(ExecutionBackend):
         self,
         database: GraphDatabase,
         use_index: bool = True,
-        cache: "QueryCache | None" = None,
+        cache=None,
     ) -> None:
         super().__init__(database)
         self.use_index = use_index
@@ -278,186 +208,36 @@ class IndexedBackend(ExecutionBackend):
         self._ensure_index()
 
     # -- index maintenance ---------------------------------------------
-    def _ensure_index(self) -> None:
+    def _ensure_index(self) -> FeatureIndex:
         """Rebuild the feature index iff the database changed under us."""
-        if self._index_version == self.database.version:
-            return
-        self.index = FeatureIndex()
-        for entry in self.database.entries():
-            self.index.add(entry.graph_id, entry.features)
-        self._index_version = self.database.version
+        if self._index_version != self.database.version:
+            self.index = FeatureIndex()
+            for entry in self.database.entries():
+                self.index.add(entry.graph_id, entry.features)
+            self._index_version = self.database.version
+        return self.index
 
     def refresh_index(self) -> None:
         """Force an index rebuild (kept for the legacy executor API)."""
         self._index_version = -1
         self._ensure_index()
 
-    def _candidate_order(
-        self, query_features: GraphFeatures, measures: tuple[DistanceMeasure, ...]
-    ) -> list[tuple[int, tuple[float, ...]]]:
-        """(id, optimistic vector) pairs, most promising candidates first."""
-        order = []
-        for graph_id in self.database.ids():
-            optimistic = self.index.optimistic_vector(
-                graph_id, query_features, measures
-            )
-            order.append((graph_id, optimistic))
-        order.sort(key=lambda item: (sum(item[1]), item[0]))
-        return order
-
-    def _evaluate_pair(
-        self,
-        graph_id: int,
-        spec: GraphQuery,
-        measures: tuple[DistanceMeasure, ...],
-        names: tuple[str, ...],
-    ) -> tuple[tuple[float, ...], bool]:
-        """Exact GCS vector of (graph_id, query); True when cache-served."""
-        if self.cache is not None:
-            query_hash = self.cache.query_hash(spec.graph)
-            cached = self.cache.get(graph_id, query_hash, names)
-            if cached is not None:
-                return cached, True
-        graph = self.database.get(graph_id)
-        context = PairContext(graph, spec.graph)
-        values = tuple(
-            measure.distance(graph, spec.graph, context) for measure in measures
+    def _candidate_order(self, query_features, measures):
+        """(id, optimistic vector) pairs, most promising candidates first
+        (legacy executor hook; the engine's bound-ordered source)."""
+        return BoundOrderedSource(self._ensure_index).pairs(
+            query_features, measures
         )
-        if self.cache is not None:
-            self.cache.put(graph_id, query_hash, names, values)
-        return values, False
 
-    @staticmethod
-    def _has_n_dominators(
-        exact_vectors: list[tuple[float, ...]],
-        optimistic: tuple[float, ...],
-        tolerance: float,
-        n: int,
-    ) -> bool:
-        """True when ≥ ``n`` exact vectors dominate the optimistic bound."""
-        count = 0
-        for vector in exact_vectors:
-            if dominates(vector, optimistic, tolerance):
-                count += 1
-                if count >= n:
-                    return True
-        return False
-
-    def _pruned_vectors(
-        self,
-        spec: GraphQuery,
-        measures: tuple[DistanceMeasure, ...],
-        prune_limit: int,
-        stats: QueryStats,
-    ) -> dict[int, CompoundSimilarity]:
-        """Exact vectors of the candidates that survive bound pruning.
-
-        ``prune_limit`` is 1 for the skyline and ``k`` for the k-skyband:
-        a candidate whose optimistic vector has ≥ ``prune_limit`` exact
-        dominators is dominated by at least that many graphs, and by
-        transitivity so is anything it would have dominated — skipping it
-        cannot change membership.
-        """
-        names = measure_names(measures)
-        query_features = GraphFeatures.of(spec.graph)
-        with PhaseTimer(stats, "bounds"):
-            order = self._candidate_order(query_features, measures)
-        vectors: dict[int, CompoundSimilarity] = {}
-        exact_vectors: list[tuple[float, ...]] = []
-        with PhaseTimer(stats, "evaluate"):
-            for graph_id, optimistic in order:
-                stats.candidates_considered += 1
-                if self.use_index and self._has_n_dominators(
-                    exact_vectors, optimistic, spec.tolerance, prune_limit
-                ):
-                    stats.pruned_by_index += 1
-                    continue
-                values, from_cache = self._evaluate_pair(
-                    graph_id, spec, measures, names
-                )
-                vectors[graph_id] = CompoundSimilarity(values=values, measures=names)
-                exact_vectors.append(values)
-                if not from_cache:
-                    stats.exact_evaluations += 1
-        return vectors
-
-    # -- query kinds ----------------------------------------------------
-    def _skyline(self, spec, measures):
-        self._ensure_index()
-        stats = QueryStats(database_size=len(self.database))
-        vectors = self._pruned_vectors(spec, measures, 1, stats)
-        return self._finish_vectors(spec, vectors, stats)
-
-    def _skyband(self, spec, measures):
-        self._ensure_index()
-        stats = QueryStats(database_size=len(self.database))
-        vectors = self._pruned_vectors(spec, measures, spec.k, stats)
-        return self._finish_vectors(spec, vectors, stats)
-
-    def _topk(self, spec, measure):
-        """Classic bound-based pruning: candidates are visited in ascending
-        lower-bound order; once ``k`` exact distances are known, any
-        candidate whose lower bound exceeds the current k-th best distance
-        can be skipped, and because bounds are sorted the scan stops at the
-        first such candidate. The frontier is a sorted list maintained with
-        ``bisect.insort`` — no re-sort per insertion."""
-        self._ensure_index()
-        stats = QueryStats(database_size=len(self.database))
-        query_features = GraphFeatures.of(spec.graph)
-        with PhaseTimer(stats, "bounds"):
-            bounded = sorted(
-                (
-                    self.index.optimistic_vector(
-                        graph_id, query_features, (measure,)
-                    )[0],
-                    graph_id,
-                )
-                for graph_id in self.database.ids()
-            )
-        best: list[tuple[float, int]] = []
-        distances: dict[int, float] = {}
-        with PhaseTimer(stats, "evaluate"):
-            for lower_bound, graph_id in bounded:
-                if self.use_index and len(best) >= spec.k and lower_bound > best[-1][0]:
-                    # Every later candidate has an even larger bound; count
-                    # the whole tail as considered-and-pruned.
-                    remaining = len(bounded) - len(distances)
-                    stats.candidates_considered += remaining
-                    stats.pruned_by_index += remaining
-                    break
-                stats.candidates_considered += 1
-                graph = self.database.get(graph_id)
-                distance = measure.distance(
-                    graph, spec.graph, PairContext(graph, spec.graph)
-                )
-                stats.exact_evaluations += 1
-                distances[graph_id] = distance
-                insort(best, (distance, graph_id))
-                del best[spec.k :]
-        return self._finish_distances(spec, distances, stats)
-
-    def _threshold(self, spec, measure):
-        self._ensure_index()
-        stats = QueryStats(database_size=len(self.database))
-        query_features = GraphFeatures.of(spec.graph)
-        with PhaseTimer(stats, "bounds"):
-            if self.use_index:
-                candidates = self.index.threshold_candidates(
-                    query_features, measure, spec.threshold
-                )
-            else:
-                candidates = self.database.ids()
-        stats.candidates_considered = len(self.database)
-        stats.pruned_by_index = len(self.database) - len(candidates)
-        distances: dict[int, float] = {}
-        with PhaseTimer(stats, "evaluate"):
-            for graph_id in candidates:
-                graph = self.database.get(graph_id)
-                distances[graph_id] = measure.distance(
-                    graph, spec.graph, PairContext(graph, spec.graph)
-                )
-                stats.exact_evaluations += 1
-        return self._finish_distances(spec, distances, stats)
+    def build_plan(self, spec: GraphQuery) -> EvaluationPlan:
+        prune = (bound_pruning,) if self.use_index else ()
+        labels = (_BOUND_STAGE_LABELS[spec.kind],) if self.use_index else ()
+        return EvaluationPlan(
+            source=BoundOrderedSource(self._ensure_index),
+            cascade=prune + self._cache_stages(),
+            evaluator=SerialEvaluator(),
+            stage_labels=labels + self._cache_labels(),
+        )
 
 
 register_backend(MemoryBackend.name, MemoryBackend)

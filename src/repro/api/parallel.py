@@ -1,91 +1,27 @@
-"""Process-pool execution backend: exact GCS evaluation fanned in chunks.
+"""Process-pool execution backend: a pooled-evaluator plan configuration.
 
 The expensive part of every query kind is the per-graph exact evaluation
 (GED + MCS per pair); the selection step over the resulting vectors is
-negligible. This backend ships chunks of ``(graph_id, graph)`` pairs to a
-:class:`concurrent.futures.ProcessPoolExecutor`, evaluates them with the
-same :class:`~repro.measures.base.PairContext` sharing as the serial
-backends, and runs the selection serially — so the answer set is identical
-to ``memory`` by construction (and property-tested to be).
+negligible. This backend pairs the engine's database-order candidate
+source with a :class:`~repro.engine.evaluate.PooledEvaluator`, which
+ships chunks of ``(graph_id, graph)`` pairs to a shared
+:class:`concurrent.futures.ProcessPoolExecutor` and runs the selection
+serially — so the answer set is identical to ``memory`` by construction
+(and property-tested to be). With ``cache=``, cached pairs are served
+before the fan-out and new vectors written back after it, so batching and
+caching compose.
 
-Workers receive measure *specs* (registry names when possible), not live
-objects, so nothing unpicklable crosses the process boundary in the common
-case. Custom measure instances must be picklable to be used here.
-
-The pool is shared process-wide and created lazily on first use (fork is
-cheap on POSIX, but spawning per-query would still dwarf small queries);
-:func:`shutdown_pool` tears it down, and an ``atexit`` hook does so at
-interpreter exit.
+The pool-sharing machinery lives in :mod:`repro.engine.evaluate`;
+:func:`shutdown_pool` is re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import atexit
-import os
-from concurrent.futures import ProcessPoolExecutor
-
-from repro.graph.labeled_graph import LabeledGraph
-from repro.measures.base import (
-    DistanceMeasure,
-    PairContext,
-    measure_names,
-    resolve_measures,
-)
-from repro.core.gcs import CompoundSimilarity
 from repro.db.database import GraphDatabase
-from repro.db.stats import PhaseTimer, QueryStats
 from repro.api.spec import GraphQuery
 from repro.api.backends import ExecutionBackend, register_backend
-
-_POOLS: dict[int, ProcessPoolExecutor] = {}
-
-
-def _shared_pool(max_workers: int) -> ProcessPoolExecutor:
-    """The process-wide worker pool for ``max_workers``.
-
-    Pools are cached per size so sessions with different worker counts
-    coexist — tearing one down to resize would cancel in-flight work of
-    unrelated sessions.
-    """
-    pool = _POOLS.get(max_workers)
-    if pool is None:
-        pool = _POOLS[max_workers] = ProcessPoolExecutor(max_workers=max_workers)
-    return pool
-
-
-def shutdown_pool() -> None:
-    """Tear down every shared worker pool (no-op when none started)."""
-    while _POOLS:
-        _, pool = _POOLS.popitem()
-        pool.shutdown(wait=True, cancel_futures=True)
-
-
-atexit.register(shutdown_pool)
-
-
-def _evaluate_chunk(
-    pairs: list[tuple[int, LabeledGraph]],
-    query: LabeledGraph,
-    measure_specs: tuple[object, ...] | None,
-) -> list[tuple[int, tuple[float, ...]]]:
-    """Worker: exact measure vectors for one chunk of database graphs."""
-    from repro.measures.base import default_measures
-
-    measures = (
-        default_measures()
-        if measure_specs is None
-        else resolve_measures(measure_specs)
-    )
-    out = []
-    for graph_id, graph in pairs:
-        context = PairContext(graph, query)
-        out.append(
-            (
-                graph_id,
-                tuple(m.distance(graph, query, context) for m in measures),
-            )
-        )
-    return out
+from repro.engine.evaluate import PooledEvaluator, shutdown_pool  # noqa: F401
+from repro.engine.plan import DatabaseOrderSource, EvaluationPlan
 
 
 class ParallelBackend(ExecutionBackend):
@@ -100,6 +36,8 @@ class ParallelBackend(ExecutionBackend):
     chunk_size:
         Graphs per task; ``None`` auto-sizes to ~4 chunks per worker so
         uneven per-pair costs still balance.
+    cache:
+        Optional shared pair cache consulted before the fan-out.
     """
 
     name = "parallel"
@@ -109,74 +47,33 @@ class ParallelBackend(ExecutionBackend):
         database: GraphDatabase,
         max_workers: int | None = None,
         chunk_size: int | None = None,
+        cache=None,
     ) -> None:
         super().__init__(database)
-        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
-        self.chunk_size = chunk_size
-
-    def _chunks(self) -> list[list[tuple[int, LabeledGraph]]]:
-        pairs = list(self.database)
-        if not pairs:
-            return []
-        size = self.chunk_size
-        if size is None:
-            size = max(1, -(-len(pairs) // (self.max_workers * 4)))
-        return [pairs[i : i + size] for i in range(0, len(pairs), size)]
-
-    def _fan_out(
-        self, spec: GraphQuery, measure_specs: tuple[object, ...] | None, stats: QueryStats
-    ) -> dict[int, tuple[float, ...]]:
-        """Exact vectors for every graph, evaluated across the pool."""
-        values: dict[int, tuple[float, ...]] = {}
-        with PhaseTimer(stats, "evaluate"):
-            chunks = self._chunks()
-            if not chunks:
-                return values
-            pool = _shared_pool(self.max_workers)
-            futures = [
-                pool.submit(_evaluate_chunk, chunk, spec.graph, measure_specs)
-                for chunk in chunks
-            ]
-            for future in futures:
-                for graph_id, vector in future.result():
-                    values[graph_id] = vector
-            stats.candidates_considered = len(values)
-            stats.exact_evaluations = len(values)
-        return dict(sorted(values.items()))
-
-    def _vector_answer(
-        self, spec: GraphQuery, measures: tuple[DistanceMeasure, ...]
-    ) -> tuple[dict[int, CompoundSimilarity], QueryStats]:
-        stats = QueryStats(database_size=len(self.database))
-        names = measure_names(measures)
-        raw = self._fan_out(spec, spec.measures, stats)
-        vectors = {
-            graph_id: CompoundSimilarity(values=values, measures=names)
-            for graph_id, values in raw.items()
-        }
-        return vectors, stats
-
-    def _skyline(self, spec, measures):
-        vectors, stats = self._vector_answer(spec, measures)
-        return self._finish_vectors(spec, vectors, stats)
-
-    _skyband = _skyline  # same fan-out evaluation; _finish_vectors branches
-
-    def _single_distances(
-        self, spec: GraphQuery, measure: DistanceMeasure, stats: QueryStats
-    ) -> dict[int, float]:
-        spec_for_measure = (
-            (spec.measure,) if spec.measure is not None else (measure,)
+        self.cache = cache
+        self._evaluator = PooledEvaluator(
+            max_workers=max_workers, chunk_size=chunk_size
         )
-        raw = self._fan_out(spec, spec_for_measure, stats)
-        return {graph_id: values[0] for graph_id, values in raw.items()}
 
-    def _topk(self, spec, measure):
-        stats = QueryStats(database_size=len(self.database))
-        distances = self._single_distances(spec, measure, stats)
-        return self._finish_distances(spec, distances, stats)
+    @property
+    def max_workers(self) -> int:
+        return self._evaluator.max_workers
 
-    _threshold = _topk  # same fan-out evaluation; _finish_distances branches
+    @property
+    def chunk_size(self) -> int | None:
+        return self._evaluator.chunk_size
+
+    def _chunks(self) -> list[list]:
+        """How the current database would be split into pool tasks."""
+        return self._evaluator.chunk(list(self.database))
+
+    def build_plan(self, spec: GraphQuery) -> EvaluationPlan:
+        return EvaluationPlan(
+            source=DatabaseOrderSource(),
+            cascade=self._cache_stages(),
+            evaluator=self._evaluator,
+            stage_labels=self._cache_labels(),
+        )
 
 
 register_backend(ParallelBackend.name, ParallelBackend)

@@ -34,15 +34,18 @@ class QueryPlan:
     measures: tuple[str, ...]
     uses_index: bool
     workers: int = 1
+    #: Cascade stage labels of the engine plan (empty = straight to exact).
+    stages: tuple[str, ...] = ()
 
     def describe(self) -> str:
         """One-line human-readable plan."""
         pruning = "index lower-bound pruning" if self.uses_index else "full scan"
         fan_out = f", {self.workers} workers" if self.workers > 1 else ""
+        cascade = f"; cascade: {' → '.join(self.stages)}" if self.stages else ""
         return (
             f"{self.kind} over {self.database_size} graphs via "
             f"{self.backend!r} ({pruning}{fan_out}; "
-            f"measures: {', '.join(self.measures)})"
+            f"measures: {', '.join(self.measures)}{cascade})"
         )
 
 
@@ -169,6 +172,7 @@ class ResultSet:
                 "candidates_considered": self.stats.candidates_considered,
                 "exact_evaluations": self.stats.exact_evaluations,
                 "pruned_by_index": self.stats.pruned_by_index,
+                "served_from_cache": self.stats.served_from_cache,
             },
         }
         if self.refinement is not None:

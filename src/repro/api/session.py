@@ -135,6 +135,7 @@ class Session:
             measures=names,
             uses_index=uses_index,
             workers=workers,
+            stages=self._backend.build_plan(spec).stage_labels,
         )
 
     def execute(self, query: "GraphQuery | Query") -> ResultSet:
@@ -172,6 +173,24 @@ class Session:
             stats=answer.stats,
             refinement=refinement,
         )
+
+    def watch(self, query: "GraphQuery | Query", cache=None) -> "LiveView":
+        """Materialize ``query`` as a live view that follows database
+        mutation (see :class:`repro.engine.views.LiveView`).
+
+        Only plain ``skyline`` specs are watchable. The view shares the
+        backend's pair cache when one is configured (so executed queries
+        and views never solve the same pair twice); pass ``cache=`` to
+        share a different one.
+        """
+        from repro.engine.views import LiveView
+
+        if self._closed:
+            raise QueryError("session is closed")
+        spec = self._materialize(query)
+        if cache is None:
+            cache = getattr(self._backend, "cache", None)
+        return LiveView(self, spec, cache=cache)
 
 
 def connect(

@@ -71,6 +71,13 @@ class SimilarityQueryEngine:
         algorithm: str = "bnl",
         tolerance: float = 0.0,
     ) -> None:
+        from repro._deprecation import warn_deprecated_once
+
+        warn_deprecated_once(
+            "SimilarityQueryEngine",
+            "SimilarityQueryEngine is deprecated; use "
+            "repro.connect(graphs).execute(repro.Query(q).skyline()) instead",
+        )
         self.measures = (
             default_measures() if measures is None else resolve_measures(measures)
         )

@@ -11,7 +11,7 @@ from repro.db.database import GraphDatabase, StoredGraph
 from repro.db.index import FeatureIndex
 from repro.db.stats import PhaseTimer, QueryStats
 from repro.db.executor import ExecutionResult, SkylineExecutor
-from repro.db.cache import QueryCache
+from repro.db.cache import PairCache, QueryCache
 from repro.db.persistence import (
     database_from_dict,
     database_to_dict,
@@ -27,6 +27,7 @@ __all__ = [
     "PhaseTimer",
     "ExecutionResult",
     "SkylineExecutor",
+    "PairCache",
     "QueryCache",
     "database_to_dict",
     "database_from_dict",

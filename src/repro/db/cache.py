@@ -1,90 +1,230 @@
-"""Pairwise-computation cache for repeated queries.
+"""Pairwise-computation caches for repeated and refined queries.
 
 Interactive sessions issue many queries against the same database, often
-re-using query graphs (refinement after inspection, parameter tweaks).
-:class:`QueryCache` memoises exact GCS vectors keyed by
-``(database graph id, query canonical hash, measure names)``, with an LRU
-bound so long sessions cannot grow without limit. The executor consults
-it transparently when constructed with ``cache=``.
+re-using query graphs (refinement after inspection, parameter tweaks) —
+and essentially all query time goes into exact per-pair GED/MCS solving.
+Two cache flavours share one bounded-LRU core and one lookup protocol
+(:meth:`subject_key` / :meth:`get` / :meth:`put`), so the evaluation
+engine's cached-pair cascade stage works against either:
+
+* :class:`PairCache` — the canonical cross-query cache. Entries are keyed
+  by the *canonical hashes* of the two graphs plus one measure name, so a
+  solved pair is re-used across queries, sessions, measure subsets, and
+  even isomorphic re-submissions of the same graph. Because keys identify
+  graph structure rather than storage slots, entries stay sound under
+  database mutation: a removed graph's entries are merely unused (and
+  eventually LRU-evicted), never wrong.
+* :class:`QueryCache` — the legacy per-executor cache keyed by database
+  graph id and the full measure-name tuple. Kept for existing callers;
+  prefer :class:`PairCache` in new code.
+
+Canonical hashing is iso-invariant (:mod:`repro.graph.canonical`); the
+measures shipped with the paper depend only on graph structure and labels,
+so serving a cached value for an isomorphic pair is exact, not
+approximate. Construct :class:`PairCache` with ``symmetric=False`` when
+caching a non-symmetric custom measure.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Hashable
 
 from repro.graph.canonical import canonical_hash
 from repro.graph.labeled_graph import LabeledGraph
 
-_Key = tuple[int, str, tuple[str, ...]]
 
+class _LruStore:
+    """Bounded mapping with least-recently-used eviction."""
 
-class QueryCache:
-    """Bounded LRU cache of exact GCS vectors."""
-
-    def __init__(self, max_entries: int = 50_000) -> None:
+    def __init__(self, max_entries: int) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self._entries: OrderedDict[_Key, tuple[float, ...]] = OrderedDict()
-        self._query_hashes: dict[int, str] = {}
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable) -> object | None:
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def drop_where(self, predicate) -> None:
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PairCache:
+    """Canonical-hash-keyed cache of exact measure values, per measure.
+
+    The cache the staged engine shares across queries and sessions: one
+    float per ``(graph hash, graph hash, measure name)``. A refined query
+    re-uses every pair already solved, and a query under measures
+    ``(edit, mcs)`` re-uses ``edit`` values solved by an earlier
+    ``(edit, mcs, union)`` query — vector lookups assemble per-measure
+    entries and succeed only when every dimension is present.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound on stored per-measure values.
+    symmetric:
+        Normalize the hash pair so ``d(a, b)`` and ``d(b, a)`` share an
+        entry. Sound for the paper's measures (all symmetric); pass
+        ``False`` when caching a non-symmetric custom measure.
+    """
+
+    def __init__(self, max_entries: int = 200_000, symmetric: bool = True) -> None:
+        self._store = _LruStore(max_entries)
+        self.symmetric = symmetric
         self.hits = 0
         self.misses = 0
 
+    @property
+    def max_entries(self) -> int:
+        return self._store.max_entries
+
+    # -- lookup protocol (shared with QueryCache) -----------------------
     def query_hash(self, query: LabeledGraph) -> str:
-        """Canonical hash of the query (memoised per object identity)."""
-        key = id(query)
-        if key not in self._query_hashes:
-            self._query_hashes[key] = canonical_hash(query)
-        return self._query_hashes[key]
+        """Canonical hash of the query graph.
+
+        Computed fresh on every call: graphs are mutable and unhashable,
+        so memoising by object identity (``id()``) is unsound — ids are
+        re-used after garbage collection and survive in-place mutation,
+        either of which would serve a stale hash for a different graph.
+        Callers that evaluate many candidates against one query (the
+        engine, live views) compute this once per run and thread it
+        through.
+        """
+        return canonical_hash(query)
+
+    def subject_key(self, entry) -> Hashable:
+        """Cache key component of a stored database graph (its iso hash)."""
+        return entry.iso_hash
+
+    def _pair(self, subject_key: Hashable, query_hash: str) -> tuple:
+        if self.symmetric and isinstance(subject_key, str):
+            return tuple(sorted((subject_key, query_hash)))
+        return (subject_key, query_hash)
 
     def get(
         self,
-        graph_id: int,
+        subject_key: Hashable,
+        query_hash: str,
+        measures: tuple[str, ...],
+    ) -> tuple[float, ...] | None:
+        """Cached vector assembled per measure, or ``None`` if any is absent."""
+        pair = self._pair(subject_key, query_hash)
+        values = []
+        for name in measures:
+            value = self._store.get((pair, name))
+            if value is None:
+                self.misses += 1
+                return None
+            values.append(value)
+        self.hits += 1
+        return tuple(values)
+
+    def put(
+        self,
+        subject_key: Hashable,
+        query_hash: str,
+        measures: tuple[str, ...],
+        vector: tuple[float, ...],
+    ) -> None:
+        """Store one entry per measure dimension (LRU-evicting beyond cap)."""
+        pair = self._pair(subject_key, query_hash)
+        for name, value in zip(measures, vector):
+            self._store.put((pair, name), float(value))
+
+    # -- maintenance ----------------------------------------------------
+    def invalidate_subject(self, subject_key: Hashable) -> None:
+        """Drop every entry involving ``subject_key``.
+
+        Rarely needed — content-addressed keys stay sound under database
+        mutation — but useful when a measure implementation itself changed.
+        """
+        self._store.drop_where(lambda key: subject_key in key[0])
+
+    def clear(self) -> None:
+        """Drop everything (statistics included)."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of vector lookups served entirely from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__}: {len(self)} entries, "
+            f"hit rate {self.hit_rate:.0%}>"
+        )
+
+
+class QueryCache(PairCache):
+    """Legacy bounded LRU cache keyed by database graph id.
+
+    Predates :class:`PairCache`: entries are keyed by ``(graph id, query
+    hash, full measure-name tuple)`` and store whole vectors, so nothing
+    is shared across measure subsets and entries die with their database
+    slot (:meth:`invalidate_graph` after updates). Kept because existing
+    callers rely on exactly those semantics; new code should use
+    :class:`PairCache`.
+    """
+
+    def __init__(self, max_entries: int = 50_000) -> None:
+        super().__init__(max_entries=max_entries, symmetric=False)
+
+    def subject_key(self, entry) -> Hashable:
+        return entry.graph_id
+
+    def get(
+        self,
+        graph_id: Hashable,
         query_hash: str,
         measures: tuple[str, ...],
     ) -> tuple[float, ...] | None:
         """Cached vector, or ``None``; refreshes LRU position on hit."""
-        key = (graph_id, query_hash, measures)
-        vector = self._entries.get(key)
+        vector = self._store.get((graph_id, query_hash, tuple(measures)))
         if vector is None:
             self.misses += 1
             return None
-        self._entries.move_to_end(key)
         self.hits += 1
         return vector
 
     def put(
         self,
-        graph_id: int,
+        graph_id: Hashable,
         query_hash: str,
         measures: tuple[str, ...],
         vector: tuple[float, ...],
     ) -> None:
         """Store a vector, evicting the least recently used beyond the cap."""
-        key = (graph_id, query_hash, measures)
-        self._entries[key] = vector
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        self._store.put((graph_id, query_hash, tuple(measures)), tuple(vector))
 
     def invalidate_graph(self, graph_id: int) -> None:
         """Drop all entries of one database graph (after update/removal)."""
-        stale = [key for key in self._entries if key[0] == graph_id]
-        for key in stale:
-            del self._entries[key]
+        self._store.drop_where(lambda key: key[0] == graph_id)
 
-    def clear(self) -> None:
-        """Drop everything (statistics included)."""
-        self._entries.clear()
-        self._query_hashes.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+    # This class keys by graph id, so the subject IS the graph id.
+    invalidate_subject = invalidate_graph

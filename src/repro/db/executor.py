@@ -95,7 +95,14 @@ class SkylineExecutor:
         cache: "QueryCache | None" = None,
     ) -> None:
         from repro.api.backends import IndexedBackend
+        from repro._deprecation import warn_deprecated_once
 
+        warn_deprecated_once(
+            "SkylineExecutor",
+            "SkylineExecutor is deprecated; use "
+            "repro.connect(database, backend='indexed') and the declarative "
+            "Query API instead",
+        )
         self.database = database
         self.measures: tuple[DistanceMeasure, ...] = (
             default_measures() if measures is None else resolve_measures(measures)

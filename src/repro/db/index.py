@@ -67,6 +67,10 @@ class FeatureIndex:
         """The stored features of ``graph_id``."""
         return self._features[graph_id]
 
+    def ids(self) -> list[int]:
+        """All indexed graph ids, in registration (= database) order."""
+        return list(self._features)
+
     def optimistic_vector(
         self,
         graph_id: int,

@@ -20,6 +20,7 @@ class QueryStats:
     candidates_considered: int = 0
     pruned_by_index: int = 0
     exact_evaluations: int = 0
+    served_from_cache: int = 0
     skyline_size: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -36,9 +37,13 @@ class QueryStats:
             f"{phase}={seconds * 1000:.1f}ms"
             for phase, seconds in self.phase_seconds.items()
         )
+        cached = (
+            f" cached={self.served_from_cache}" if self.served_from_cache else ""
+        )
         return (
             f"n={self.database_size} evaluated={self.exact_evaluations} "
-            f"pruned={self.pruned_by_index} skyline={self.skyline_size} [{timings}]"
+            f"pruned={self.pruned_by_index}{cached} "
+            f"skyline={self.skyline_size} [{timings}]"
         )
 
 

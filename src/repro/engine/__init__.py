@@ -1,0 +1,76 @@
+"""Staged evaluation engine: the one execution path behind every backend.
+
+Every query the library answers — through sessions, the legacy shims, the
+CLI or the benches — runs as an :class:`EvaluationPlan` in this package:
+
+    candidate source → pruning cascade → exact evaluator → consumer
+
+The shipped backends (:mod:`repro.api.backends`) are thin plan
+configurations over these parts; nothing else in the codebase owns a
+candidate loop. The pieces compose freely:
+
+* sources — :class:`DatabaseOrderSource` (exhaustive) and
+  :class:`BoundOrderedSource` (feature-index lower bounds, best first);
+* cascade stages — :func:`bound_pruning` (Pareto / top-k cutoff /
+  threshold bounds, per query kind) and :func:`cached_pairs` (the shared
+  :class:`~repro.db.cache.PairCache`); custom :class:`Stage`
+  implementations plug in alongside;
+* evaluators — :class:`SerialEvaluator` (interleaved, feeds the bound
+  stages) and :class:`PooledEvaluator` (chunked process-pool batching);
+* :class:`LiveView` — a materialized skyline kept incrementally correct
+  under database mutation (``Session.watch``).
+
+:func:`run_plan` drives a plan; soundness of every cascade stage (a
+pruned candidate never appears in the exhaustive answer) is
+property-tested in ``tests/test_engine_cascade_property.py``.
+"""
+
+from repro.engine.plan import (
+    BoundOrderedSource,
+    Candidate,
+    CandidateSource,
+    CachedPairStage,
+    DatabaseOrderSource,
+    EvaluationPlan,
+    ParetoPruneStage,
+    RankBoundStage,
+    Stage,
+    ThresholdBoundStage,
+    bound_pruning,
+    cached_pairs,
+)
+from repro.engine.evaluate import (
+    Evaluator,
+    PooledEvaluator,
+    SerialEvaluator,
+    pair_values,
+    shared_pool,
+    shutdown_pool,
+)
+from repro.engine.core import RunContext, make_context, run_plan
+from repro.engine.views import LiveView
+
+__all__ = [
+    "BoundOrderedSource",
+    "Candidate",
+    "CandidateSource",
+    "CachedPairStage",
+    "DatabaseOrderSource",
+    "EvaluationPlan",
+    "ParetoPruneStage",
+    "RankBoundStage",
+    "Stage",
+    "ThresholdBoundStage",
+    "bound_pruning",
+    "cached_pairs",
+    "Evaluator",
+    "PooledEvaluator",
+    "SerialEvaluator",
+    "pair_values",
+    "shared_pool",
+    "shutdown_pool",
+    "RunContext",
+    "make_context",
+    "run_plan",
+    "LiveView",
+]

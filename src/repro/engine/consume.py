@@ -1,0 +1,56 @@
+"""Consumers: turn exact vectors into the answer for each query kind.
+
+The selection step over exact vectors is cheap but semantically load
+bearing: algorithm choice, tolerance and tie-breaking define the
+backend-parity contract. Every plan the engine runs funnels through these
+two functions, so answer-set semantics are defined exactly once and
+cannot drift per backend.
+"""
+
+from __future__ import annotations
+
+from repro.core.gcs import CompoundSimilarity
+from repro.db.stats import PhaseTimer, QueryStats
+from repro.skyline import skyline as vector_skyline
+from repro.skyline.skyband import k_skyband
+from repro.api.spec import GraphQuery
+
+
+def finish_vectors(
+    spec: GraphQuery,
+    vectors: dict[int, CompoundSimilarity],
+    stats: QueryStats,
+    pruned_ids: list[int],
+) -> "BackendAnswer":
+    """Skyline or k-skyband selection over exact vectors."""
+    from repro.api.backends import BackendAnswer
+
+    with PhaseTimer(stats, "skyline"):
+        ids = list(vectors)
+        values = [vectors[i].values for i in ids]
+        if spec.kind == "skyband":
+            positions = k_skyband(values, spec.k, tolerance=spec.tolerance)
+        else:
+            positions = vector_skyline(
+                values, algorithm=spec.algorithm, tolerance=spec.tolerance
+            )
+        answer = sorted(ids[p] for p in positions)
+    stats.skyline_size = len(answer)
+    return BackendAnswer(answer, ids, vectors, None, stats, pruned_ids)
+
+
+def finish_distances(
+    spec: GraphQuery,
+    distances: dict[int, float],
+    stats: QueryStats,
+    pruned_ids: list[int],
+) -> "BackendAnswer":
+    """Top-k cut or threshold filter over exact distances, ties by id."""
+    from repro.api.backends import BackendAnswer
+
+    if spec.kind == "topk":
+        answer = sorted(distances, key=lambda i: (distances[i], i))[: spec.k]
+    else:
+        answer = [i for i in distances if distances[i] <= spec.threshold]
+        answer.sort(key=lambda i: (distances[i], i))
+    return BackendAnswer(answer, list(distances), {}, distances, stats, pruned_ids)

@@ -1,0 +1,175 @@
+"""The staged evaluation engine: one candidate loop for every backend.
+
+:func:`run_plan` executes a validated :class:`~repro.api.spec.GraphQuery`
+under an :class:`~repro.engine.plan.EvaluationPlan`:
+
+1. the plan's source enumerates (and orders) candidates, computing index
+   lower bounds when it has them;
+2. each candidate walks the pruning cascade — a stage may prune it
+   (sound: the candidate provably cannot change the answer), serve its
+   exact vector (cached pairs), or pass;
+3. survivors reach the evaluator — solved immediately (serial) or batched
+   onto a process pool and drained after the scan;
+4. every exact vector is fed back to the stages (``observe``), then the
+   kind-specific consumer selects the answer.
+
+The engine is the only place counting statistics, so ``memory``,
+``indexed`` and ``parallel`` report comparable numbers by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.gcs import CompoundSimilarity
+from repro.db.database import GraphDatabase
+from repro.db.stats import PhaseTimer, QueryStats
+from repro.graph.features import GraphFeatures
+from repro.measures.base import (
+    DistanceMeasure,
+    default_measures,
+    get_measure,
+    measure_names,
+    resolve_measures,
+)
+from repro.api.spec import GraphQuery
+from repro.engine.consume import finish_distances, finish_vectors
+from repro.engine.evaluate import Evaluator, SerialEvaluator
+from repro.engine.plan import EvaluationPlan, Stage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.backends import BackendAnswer
+    from repro.db.cache import PairCache
+
+
+def resolved_measures(spec: GraphQuery) -> tuple[DistanceMeasure, ...]:
+    """The spec's GCS dimensions (paper defaults when unset)."""
+    if spec.measures is None:
+        return default_measures()
+    return resolve_measures(spec.measures)
+
+
+def single_measure(
+    spec: GraphQuery, measures: tuple[DistanceMeasure, ...]
+) -> DistanceMeasure:
+    """The measure of a topk/threshold query (first dimension default)."""
+    if spec.measure is not None:
+        return get_measure(spec.measure)
+    return measures[0]
+
+
+@dataclass
+class RunContext:
+    """Everything one engine run shares with its stages and evaluator.
+
+    ``measures`` is the evaluated dimension tuple — the full GCS vector
+    for skyline/skyband, a single-element tuple for topk/threshold — and
+    ``names`` its registry names (cache keys). ``measure_specs`` is the
+    picklable form shipped to pool workers. ``query_features`` is
+    computed lazily so plans without bound stages never pay for it.
+    """
+
+    spec: GraphQuery
+    database: GraphDatabase
+    measures: tuple[DistanceMeasure, ...]
+    names: tuple[str, ...]
+    measure_specs: tuple[object, ...] | None
+    cache: "PairCache | None"
+    stats: QueryStats = field(default_factory=QueryStats)
+    _query_features: GraphFeatures | None = None
+
+    @property
+    def vector_kind(self) -> bool:
+        return self.spec.kind in ("skyline", "skyband")
+
+    @property
+    def query_features(self) -> GraphFeatures:
+        if self._query_features is None:
+            self._query_features = GraphFeatures.of(self.spec.graph)
+        return self._query_features
+
+
+def make_context(
+    database: GraphDatabase, spec: GraphQuery, cache: "PairCache | None" = None
+) -> RunContext:
+    """Resolve a validated spec into the run context the engine needs."""
+    gcs_measures = resolved_measures(spec)
+    if spec.kind in ("skyline", "skyband"):
+        measures = gcs_measures
+        measure_specs = spec.measures
+    else:
+        single = single_measure(spec, gcs_measures)
+        measures = (single,)
+        measure_specs = (spec.measure,) if spec.measure is not None else (single,)
+    return RunContext(
+        spec=spec,
+        database=database,
+        measures=measures,
+        names=measure_names(measures),
+        measure_specs=measure_specs,
+        cache=cache,
+        stats=QueryStats(database_size=len(database)),
+    )
+
+
+def run_plan(
+    database: GraphDatabase,
+    spec: GraphQuery,
+    plan: EvaluationPlan,
+    cache: "PairCache | None" = None,
+) -> "BackendAnswer":
+    """Execute ``spec`` over ``database`` under ``plan`` (see module doc)."""
+    spec.validate()
+    ctx = make_context(database, spec, cache)
+    stats = ctx.stats
+    evaluator: Evaluator = plan.evaluator or SerialEvaluator()
+
+    if plan.source.computes_bounds:
+        with PhaseTimer(stats, "bounds"):
+            candidates = plan.source.candidates(ctx)
+    else:
+        candidates = plan.source.candidates(ctx)
+    stages: list[Stage] = [factory(ctx) for factory in plan.cascade]
+    evaluator.begin(ctx)
+
+    exact: dict[int, tuple[float, ...]] = {}
+    pruned_ids: list[int] = []
+
+    def record(graph_id: int, values: tuple[float, ...]) -> None:
+        exact[graph_id] = values
+        for stage in stages:
+            stage.observe(graph_id, values)
+
+    with PhaseTimer(stats, "evaluate"):
+        for candidate in candidates:
+            stats.candidates_considered += 1
+            verdict: "str | tuple[float, ...] | None" = None
+            for stage in stages:
+                verdict = stage.decide(candidate)
+                if verdict is not None:
+                    break
+            if verdict == "prune":
+                stats.pruned_by_index += 1
+                pruned_ids.append(candidate.graph_id)
+                continue
+            if isinstance(verdict, tuple):
+                stats.served_from_cache += 1
+                record(candidate.graph_id, verdict)
+                continue
+            values = evaluator.evaluate(ctx, candidate)
+            if values is not None:
+                stats.exact_evaluations += 1
+                record(candidate.graph_id, values)
+        for graph_id, values in evaluator.drain(ctx):
+            stats.exact_evaluations += 1
+            record(graph_id, values)
+
+    if ctx.vector_kind:
+        vectors = {
+            graph_id: CompoundSimilarity(values=values, measures=ctx.names)
+            for graph_id, values in exact.items()
+        }
+        return finish_vectors(spec, vectors, stats, pruned_ids)
+    distances = {graph_id: values[0] for graph_id, values in exact.items()}
+    return finish_distances(spec, distances, stats, pruned_ids)

@@ -1,0 +1,182 @@
+"""Exact evaluators: the batched solving step of the staged engine.
+
+Everything upstream of this module avoids work; this module does the
+work. An :class:`Evaluator` receives the candidates that survived the
+pruning cascade and produces their exact measure vectors, either
+
+* immediately (:class:`SerialEvaluator`) — each vector is returned to the
+  engine loop right away, which is what lets feedback-driven stages
+  (Pareto pruning, the top-k cutoff) tighten as the scan progresses; or
+* deferred (:class:`PooledEvaluator`) — candidates accumulate and are
+  solved in chunks on a process-wide worker pool, traded against stage
+  feedback (bound stages see no exact vectors mid-scan and so prune
+  nothing; cached-pair serving and write-back still apply).
+
+Workers receive measure *specs* (registry names when possible), not live
+objects, so nothing unpicklable crosses the process boundary in the
+common case. The pool is shared process-wide per worker count and created
+lazily; :func:`shutdown_pool` tears every pool down, and an ``atexit``
+hook does so at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import abc
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.measures.base import DistanceMeasure, PairContext, resolve_measures
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.core import RunContext
+    from repro.engine.plan import Candidate
+
+
+def pair_values(
+    graph: LabeledGraph,
+    query: LabeledGraph,
+    measures: tuple[DistanceMeasure, ...],
+) -> tuple[float, ...]:
+    """Exact measure vector of one (graph, query) pair (shared context)."""
+    context = PairContext(graph, query)
+    return tuple(measure.distance(graph, query, context) for measure in measures)
+
+
+# ----------------------------------------------------------------------
+# Shared process pools
+# ----------------------------------------------------------------------
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def shared_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The process-wide worker pool for ``max_workers``.
+
+    Pools are cached per size so sessions with different worker counts
+    coexist — tearing one down to resize would cancel in-flight work of
+    unrelated sessions.
+    """
+    pool = _POOLS.get(max_workers)
+    if pool is None:
+        pool = _POOLS[max_workers] = ProcessPoolExecutor(max_workers=max_workers)
+    return pool
+
+
+def shutdown_pool() -> None:
+    """Tear down every shared worker pool (no-op when none started)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)
+
+
+def _evaluate_chunk(
+    pairs: list[tuple[int, LabeledGraph]],
+    query: LabeledGraph,
+    measure_specs: tuple[object, ...] | None,
+) -> list[tuple[int, tuple[float, ...]]]:
+    """Worker: exact measure vectors for one chunk of database graphs."""
+    from repro.measures.base import default_measures
+
+    measures = (
+        default_measures()
+        if measure_specs is None
+        else resolve_measures(measure_specs)
+    )
+    return [
+        (graph_id, pair_values(graph, query, measures)) for graph_id, graph in pairs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Evaluators
+# ----------------------------------------------------------------------
+class Evaluator(abc.ABC):
+    """Solves cascade survivors exactly; see the module docstring."""
+
+    #: Whether :meth:`evaluate` returns values immediately (stage feedback).
+    interleaved: bool = True
+
+    def begin(self, ctx: "RunContext") -> None:
+        """Reset per-run state (called once before the candidate scan)."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, ctx: "RunContext", candidate: "Candidate"
+    ) -> tuple[float, ...] | None:
+        """Solve (or enqueue) one candidate; ``None`` means deferred."""
+
+    def drain(self, ctx: "RunContext") -> list[tuple[int, tuple[float, ...]]]:
+        """Deferred results, in ascending id order (empty when interleaved)."""
+        return []
+
+
+class SerialEvaluator(Evaluator):
+    """Solve each pair in the scanning thread, immediately."""
+
+    interleaved = True
+
+    def evaluate(self, ctx, candidate):
+        graph = ctx.database.get(candidate.graph_id)
+        return pair_values(graph, ctx.spec.graph, ctx.measures)
+
+
+class PooledEvaluator(Evaluator):
+    """Accumulate survivors and solve them in chunks on the shared pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size (default: ``os.cpu_count()``).
+    chunk_size:
+        Graphs per task; ``None`` auto-sizes to ~4 chunks per worker so
+        uneven per-pair costs still balance.
+    """
+
+    interleaved = False
+
+    def __init__(
+        self, max_workers: int | None = None, chunk_size: int | None = None
+    ) -> None:
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self._pending: list[int] = []
+
+    def begin(self, ctx) -> None:
+        self._pending = []
+
+    def evaluate(self, ctx, candidate):
+        self._pending.append(candidate.graph_id)
+        return None
+
+    def chunk(self, pairs: list) -> list[list]:
+        """Split work items into pool tasks (auto-sized unless fixed)."""
+        if not pairs:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(pairs) // (self.max_workers * 4)))
+        return [pairs[i : i + size] for i in range(0, len(pairs), size)]
+
+    def drain(self, ctx):
+        pairs = [
+            (graph_id, ctx.database.get(graph_id)) for graph_id in self._pending
+        ]
+        self._pending = []
+        chunks = self.chunk(pairs)
+        if not chunks:
+            return []
+        pool = shared_pool(self.max_workers)
+        futures = [
+            pool.submit(_evaluate_chunk, chunk, ctx.spec.graph, ctx.measure_specs)
+            for chunk in chunks
+        ]
+        results: list[tuple[int, tuple[float, ...]]] = []
+        for future in futures:
+            results.extend(future.result())
+        results.sort()
+        return results

@@ -1,0 +1,288 @@
+"""Evaluation plans: candidate sources and the pruning cascade.
+
+An :class:`EvaluationPlan` is the declarative configuration the staged
+engine (:mod:`repro.engine.core`) executes for every query:
+
+    candidate source  →  pruning cascade  →  exact evaluator  →  consumer
+
+* the **source** enumerates candidate database graphs, optionally with
+  optimistic (lower-bound) vectors and a visiting order that makes the
+  downstream pruning effective;
+* the **cascade** is an ordered list of :class:`Stage` factories; each
+  stage may soundly prune a candidate (provably outside the answer set),
+  serve its exact vector without solving (cached pairs), or pass it on;
+* the **evaluator** (:mod:`repro.engine.evaluate`) solves the survivors
+  exactly, serially or batched across a process pool;
+* the **consumer** (:mod:`repro.engine.consume`) turns exact vectors into
+  the answer for the query kind.
+
+Stages receive feedback: every exact vector the engine obtains (solved,
+cached, or returned by a worker) is :meth:`Stage.observe`-d, which is how
+Pareto pruning accumulates dominators and how the cached-pair stage
+writes back. A stage that never observes enough evidence simply never
+prunes — cascade soundness cannot depend on the evaluator choice, which
+is what lets pruning, caching and parallelism compose freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.skyline.utils import dominates
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.core import RunContext
+    from repro.engine.evaluate import Evaluator
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One database graph headed into the cascade.
+
+    ``bounds`` is the optimistic (componentwise lower-bound) vector under
+    the run's measures, or ``None`` when the source computes no bounds —
+    bound-based stages then pass such candidates through untouched.
+    """
+
+    graph_id: int
+    bounds: tuple[float, ...] | None = None
+
+
+class Stage(abc.ABC):
+    """One cascade member: prune, serve, or pass each candidate.
+
+    :meth:`decide` returns ``"prune"`` (the candidate provably cannot
+    change the answer set), an exact vector ``tuple`` (served without
+    solving), or ``None`` (no opinion — next stage, then the evaluator).
+    """
+
+    #: Registry/display name, used in plan descriptions and per-stage stats.
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def decide(self, candidate: Candidate) -> "str | tuple[float, ...] | None":
+        """Judge one candidate before exact evaluation."""
+
+    def observe(self, graph_id: int, values: tuple[float, ...]) -> None:
+        """Feedback: an exact vector became known (solved, cached or pooled)."""
+
+
+StageFactory = Callable[["RunContext"], Stage]
+
+
+class ParetoPruneStage(Stage):
+    """Skyline/skyband pruning by exact dominators of the optimistic bound.
+
+    Optimistic vectors are componentwise ≤ the exact vectors, so a
+    candidate whose optimistic vector already has ≥ ``prune_limit`` exact
+    dominators is dominated by at least that many graphs — and by
+    transitivity so is anything it would have dominated. ``prune_limit``
+    is 1 for the skyline and ``k`` for the k-skyband.
+    """
+
+    name = "pareto-bound"
+
+    def __init__(self, prune_limit: int, tolerance: float) -> None:
+        self.prune_limit = prune_limit
+        self.tolerance = tolerance
+        self._exact: list[tuple[float, ...]] = []
+
+    def decide(self, candidate: Candidate) -> "str | None":
+        if candidate.bounds is None:
+            return None
+        count = 0
+        for vector in self._exact:
+            if dominates(vector, candidate.bounds, self.tolerance):
+                count += 1
+                if count >= self.prune_limit:
+                    return "prune"
+        return None
+
+    def observe(self, graph_id: int, values: tuple[float, ...]) -> None:
+        self._exact.append(values)
+
+
+class RankBoundStage(Stage):
+    """Top-k pruning: bound exceeds the current k-th best exact distance.
+
+    With candidates visited in ascending bound order, the first prune
+    implies every later candidate is pruned too — the classic sorted-scan
+    cutoff, expressed per candidate so it stays sound under any order.
+    """
+
+    name = "rank-bound"
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._best: list[float] = []
+
+    def decide(self, candidate: Candidate) -> "str | None":
+        if candidate.bounds is None or len(self._best) < self.k:
+            return None
+        if candidate.bounds[0] > self._best[-1]:
+            return "prune"
+        return None
+
+    def observe(self, graph_id: int, values: tuple[float, ...]) -> None:
+        insort(self._best, values[0])
+        del self._best[self.k :]
+
+
+class ThresholdBoundStage(Stage):
+    """Range pruning: the lower bound already exceeds the threshold."""
+
+    name = "threshold-bound"
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+
+    def decide(self, candidate: Candidate) -> "str | None":
+        if candidate.bounds is not None and candidate.bounds[0] > self.threshold:
+            return "prune"
+        return None
+
+
+class CachedPairStage(Stage):
+    """Serve exact vectors from a shared pair cache; write back new ones.
+
+    Works with both cache flavours in :mod:`repro.db.cache` through the
+    ``subject_key``/``get``/``put`` protocol. The stage never prunes —
+    a hit replaces the exact solve, a miss passes through — so it is
+    sound in any cascade position; placing it after the bound stages
+    keeps cache traffic off already-pruned candidates.
+    """
+
+    name = "cached-pairs"
+
+    def __init__(self, ctx: "RunContext") -> None:
+        self.cache = ctx.cache
+        self.ctx = ctx
+        self.query_hash = self.cache.query_hash(ctx.spec.graph)
+        self._served: set[int] = set()
+
+    def _subject(self, graph_id: int):
+        return self.cache.subject_key(self.ctx.database.entry(graph_id))
+
+    def decide(self, candidate: Candidate) -> "tuple[float, ...] | None":
+        values = self.cache.get(
+            self._subject(candidate.graph_id), self.query_hash, self.ctx.names
+        )
+        if values is not None:
+            self._served.add(candidate.graph_id)
+        return values
+
+    def observe(self, graph_id: int, values: tuple[float, ...]) -> None:
+        if graph_id not in self._served:
+            self.cache.put(
+                self._subject(graph_id), self.query_hash, self.ctx.names, values
+            )
+
+
+def bound_pruning(ctx: "RunContext") -> Stage:
+    """The pruning stage matching the run's query kind.
+
+    One pluggable cascade entry covers all four kinds, so plans stay
+    kind-agnostic: Pareto dominator counting for skyline/skyband, the
+    k-th-best cutoff for topk, the bound-vs-threshold test for range
+    queries.
+    """
+    spec = ctx.spec
+    if spec.kind == "skyline":
+        return ParetoPruneStage(1, spec.tolerance)
+    if spec.kind == "skyband":
+        return ParetoPruneStage(spec.k, spec.tolerance)
+    if spec.kind == "topk":
+        return RankBoundStage(spec.k)
+    return ThresholdBoundStage(spec.threshold)
+
+
+def cached_pairs(ctx: "RunContext") -> Stage:
+    """Cascade entry for the shared pair cache (requires ``ctx.cache``)."""
+    return CachedPairStage(ctx)
+
+
+# ----------------------------------------------------------------------
+# Candidate sources
+# ----------------------------------------------------------------------
+class CandidateSource(abc.ABC):
+    """Enumerates (and orders) the candidates of one run."""
+
+    #: Whether :meth:`candidates` computes index bounds (timed as "bounds").
+    computes_bounds: bool = False
+
+    @abc.abstractmethod
+    def candidates(self, ctx: "RunContext") -> list[Candidate]:
+        """The run's candidate list, in visiting order."""
+
+
+class DatabaseOrderSource(CandidateSource):
+    """Every database graph in insertion order, no bounds."""
+
+    def candidates(self, ctx: "RunContext") -> list[Candidate]:
+        return [Candidate(graph_id) for graph_id in ctx.database.ids()]
+
+
+class BoundOrderedSource(CandidateSource):
+    """Candidates with feature-index lower bounds, most promising first.
+
+    Vector kinds are visited in ascending optimistic-sum order (strong
+    dominators surface early, maximizing Pareto prunes); topk in ascending
+    scalar-bound order (the sorted-scan cutoff); threshold keeps database
+    order (pruning there is order-independent). Ties break by id, so the
+    order is deterministic.
+    """
+
+    computes_bounds = True
+
+    def __init__(self, index_provider: Callable[[], "object"]) -> None:
+        self._index_provider = index_provider
+
+    def pairs(
+        self, query_features, measures
+    ) -> list[tuple[int, tuple[float, ...]]]:
+        """(id, optimistic vector) pairs sorted by (sum, id) — the legacy
+        executor's candidate order, kept observable for its tests."""
+        index = self._index_provider()
+        order = [
+            (graph_id, index.optimistic_vector(graph_id, query_features, measures))
+            for graph_id in index.ids()
+        ]
+        order.sort(key=lambda item: (sum(item[1]), item[0]))
+        return order
+
+    def candidates(self, ctx: "RunContext") -> list[Candidate]:
+        index = self._index_provider()
+        bounded = [
+            (
+                graph_id,
+                index.optimistic_vector(
+                    graph_id, ctx.query_features, ctx.measures
+                ),
+            )
+            for graph_id in index.ids()
+        ]
+        if ctx.spec.kind in ("skyline", "skyband"):
+            bounded.sort(key=lambda item: (sum(item[1]), item[0]))
+        elif ctx.spec.kind == "topk":
+            bounded.sort(key=lambda item: (item[1][0], item[0]))
+        return [Candidate(graph_id, bounds) for graph_id, bounds in bounded]
+
+
+@dataclass(frozen=True)
+class EvaluationPlan:
+    """One engine configuration: source → cascade → evaluator.
+
+    The three shipped backends are nothing but instances of this — see
+    :mod:`repro.api.backends` — and custom plans compose the same parts
+    (e.g. bound pruning with a pooled evaluator, or a cache-only cascade
+    over database order).
+    """
+
+    source: CandidateSource
+    cascade: tuple[StageFactory, ...] = ()
+    evaluator: "Evaluator | None" = None
+    #: Cascade stage labels for plan descriptions (no stages instantiated).
+    stage_labels: tuple[str, ...] = field(default=())

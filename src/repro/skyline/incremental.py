@@ -86,33 +86,34 @@ class IncrementalSkyline:
         self._skyline.add(key)
         return True
 
-    def remove(self, key: Key) -> None:
-        """Delete ``key``; promotes newly undominated pool points."""
+    def remove(self, key: Key) -> list[Key]:
+        """Delete ``key``; returns the pool points promoted into the skyline.
+
+        Removing a pool point promotes nothing; removing a member promotes
+        exactly those pool points no longer dominated by any live point
+        (a promoted point may be dominated by another pool point that is
+        also about to rise, so the check runs against all live points, not
+        just current members).
+        """
         if key not in self._vectors:
             raise KeyError(key)
         was_member = key in self._skyline
         del self._vectors[key]
         self._skyline.discard(key)
         if not was_member:
-            return
-        # Only pool points the removed member used to dominate can rise;
-        # checking the whole pool is simpler and still linear per check.
-        for candidate, values in self._vectors.items():
-            if candidate in self._skyline:
-                continue
-            if not any(
-                dominates(self._vectors[member], values, self.tolerance)
-                for member in self._skyline
-            ):
-                # a promoted point may itself be dominated by another pool
-                # point that is also about to rise: verify against all live
-                # points, not just current members
-                if not any(
-                    other != candidate
-                    and dominates(other_values, values, self.tolerance)
-                    for other, other_values in self._vectors.items()
-                ):
-                    self._skyline.add(candidate)
+            return []
+        promoted = [
+            candidate
+            for candidate, values in self._vectors.items()
+            if candidate not in self._skyline
+            and not any(
+                other != candidate
+                and dominates(other_values, values, self.tolerance)
+                for other, other_values in self._vectors.items()
+            )
+        ]
+        self._skyline.update(promoted)
+        return promoted
 
     def rebuild(self) -> None:
         """Recompute the skyline from scratch (defensive/testing hook)."""

@@ -1,0 +1,72 @@
+"""Deprecated shims warn exactly once each and keep returning seed answers."""
+
+import warnings
+
+import pytest
+
+from repro import GraphDatabase, Query, SimilarityQueryEngine, SkylineExecutor, connect
+from repro._deprecation import _WARNED
+from repro.datasets import figure3_database, figure3_query
+
+SEED_SKYLINE = ["g1", "g4", "g5", "g7"]
+
+
+@pytest.fixture(autouse=True)
+def reset_warned_keys():
+    """Each test observes the first construction in a fresh process-state."""
+    saved = set(_WARNED)
+    _WARNED.clear()
+    yield
+    _WARNED.clear()
+    _WARNED.update(saved)
+
+
+def test_executor_shim_warns_exactly_once():
+    db = GraphDatabase.from_graphs(figure3_database())
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        SkylineExecutor(db)
+        SkylineExecutor(db)  # second construction stays silent
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    assert "SkylineExecutor is deprecated" in str(deprecations[0].message)
+
+
+def test_engine_shim_warns_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        SimilarityQueryEngine()
+        SimilarityQueryEngine()
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    assert "SimilarityQueryEngine is deprecated" in str(deprecations[0].message)
+
+
+def test_shims_warn_independently():
+    db = GraphDatabase.from_graphs(figure3_database())
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        SkylineExecutor(db)
+        SimilarityQueryEngine()
+    assert sum(1 for w in caught if w.category is DeprecationWarning) == 2
+
+
+def test_executor_shim_results_unchanged_by_warning():
+    db = GraphDatabase.from_graphs(figure3_database())
+    query = figure3_query()
+    with warnings.catch_warnings():
+        warnings.simplefilter("always")
+        shim = SkylineExecutor(db).execute(query)
+    names = [db.get(i).name for i in shim.skyline_ids]
+    with connect(db, backend="indexed") as session:
+        assert names == session.execute(Query(query).skyline()).names
+    assert names == SEED_SKYLINE
+
+
+def test_engine_shim_results_unchanged_by_warning():
+    graphs = figure3_database()
+    query = figure3_query()
+    with warnings.catch_warnings():
+        warnings.simplefilter("always")
+        result = SimilarityQueryEngine().skyline(graphs, query)
+    assert [g.name for g in result.skyline] == SEED_SKYLINE

@@ -1,0 +1,101 @@
+"""Property tests: cascade soundness across every query kind.
+
+The engine's pruning contract — any candidate a cascade stage prunes can
+never appear in the exhaustive (``memory``) answer set — must hold for
+arbitrary databases, query graphs and query parameters. Hypothesis
+drives random inputs through the ``indexed`` backend (whose cascade does
+the pruning) and checks its pruned ids against the exhaustive answers,
+plus full answer-set equality, for all four kinds. A cache in the
+cascade must never change the answer either (served vectors are exact).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Query, connect
+from repro.db import GraphDatabase, PairCache
+
+from tests.conftest import small_labeled_graphs
+
+databases = st.lists(
+    small_labeled_graphs(max_vertices=4, connected=True), min_size=1, max_size=5
+)
+queries = small_labeled_graphs(max_vertices=4, connected=True)
+
+relaxed = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _pruned_vs_exhaustive(graphs, build):
+    database = GraphDatabase.from_graphs(graphs)
+    spec = build().build()
+    with connect(database, backend="memory") as session:
+        exhaustive = session.backend.run(spec)
+    with connect(database, backend="indexed") as session:
+        pruned = session.backend.run(spec)
+    return exhaustive, pruned
+
+
+@relaxed
+@given(graphs=databases, query=queries)
+def test_skyline_prunes_are_sound(graphs, query):
+    exhaustive, pruned = _pruned_vs_exhaustive(
+        graphs, lambda: Query(query).measures("edit", "mcs").skyline()
+    )
+    assert set(pruned.pruned_ids).isdisjoint(exhaustive.ids)
+    assert pruned.ids == exhaustive.ids
+
+
+@relaxed
+@given(graphs=databases, query=queries, k=st.integers(min_value=1, max_value=3))
+def test_skyband_prunes_are_sound(graphs, query, k):
+    exhaustive, pruned = _pruned_vs_exhaustive(
+        graphs, lambda: Query(query).measures("edit", "mcs").skyband(k)
+    )
+    assert set(pruned.pruned_ids).isdisjoint(exhaustive.ids)
+    assert pruned.ids == exhaustive.ids
+
+
+@relaxed
+@given(graphs=databases, query=queries, k=st.integers(min_value=1, max_value=4))
+def test_topk_prunes_are_sound(graphs, query, k):
+    exhaustive, pruned = _pruned_vs_exhaustive(
+        graphs, lambda: Query(query).topk(k, "edit")
+    )
+    assert set(pruned.pruned_ids).isdisjoint(exhaustive.ids)
+    assert pruned.ids == exhaustive.ids
+    assert all(
+        pruned.distances[i] == exhaustive.distances[i] for i in pruned.ids
+    )
+
+
+@relaxed
+@given(
+    graphs=databases,
+    query=queries,
+    threshold=st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
+)
+def test_threshold_prunes_are_sound(graphs, query, threshold):
+    exhaustive, pruned = _pruned_vs_exhaustive(
+        graphs, lambda: Query(query).measures("edit").threshold(threshold, "edit")
+    )
+    assert set(pruned.pruned_ids).isdisjoint(exhaustive.ids)
+    assert pruned.ids == exhaustive.ids
+
+
+@relaxed
+@given(graphs=databases, query=queries)
+def test_cascade_with_cache_preserves_answers(graphs, query):
+    database = GraphDatabase.from_graphs(graphs)
+    cache = PairCache()
+    build = lambda: Query(query).measures("edit", "mcs").skyline()
+    with connect(database, backend="memory") as session:
+        reference = session.execute(build()).ids
+    with connect(database, backend="indexed", cache=cache) as session:
+        cold = session.execute(build()).ids
+        warm = session.execute(build()).ids
+    assert cold == reference
+    assert warm == reference

@@ -37,6 +37,7 @@ def test_examples_directory_complete():
         "custom_measures.py",
         "database_indexing.py",
         "dynamic_database.py",
+        "live_view.py",
     } <= names
 
 
@@ -76,3 +77,10 @@ def test_dynamic_database_example():
     assert "streaming compounds in:" in out
     assert "after deleting" in out
     assert "is in the skyline" in out
+
+
+def test_live_view_example():
+    out = run_example("live_view.py")
+    assert "watching: <LiveView" in out
+    assert "streaming compounds in:" in out
+    assert "view equals a from-scratch re-query: True" in out

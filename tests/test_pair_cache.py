@@ -1,0 +1,175 @@
+"""PairCache: canonical-hash-keyed cross-query/measure sharing.
+
+Also pins the fix for the legacy ``QueryCache.query_hash`` bug: it used
+to memoise the canonical hash by ``id(query)``, so a mutated graph — or a
+new graph allocated at a recycled id after garbage collection — was
+served a stale hash for a *different* graph.
+"""
+
+import gc
+
+import pytest
+
+from repro import GraphDatabase, PairCache, Query, connect
+from repro.datasets import figure3_database, figure3_query
+from repro.db import QueryCache
+from repro.graph import LabeledGraph, path_graph
+from repro.graph.canonical import canonical_hash
+
+
+@pytest.fixture
+def db():
+    return GraphDatabase.from_graphs(figure3_database())
+
+
+# ----------------------------------------------------------------------
+# query_hash regression (satellite: id()-keyed memoisation was unsound)
+# ----------------------------------------------------------------------
+def test_query_hash_follows_mutation():
+    cache = QueryCache()
+    graph = LabeledGraph.from_edges([("A", "B", "-"), ("B", "C", "-")], name="p3")
+    before = cache.query_hash(graph)
+    assert before == canonical_hash(graph)
+    graph.add_vertex("X", "Z")
+    graph.add_edge("C", "X", "-")
+    # id(graph) is unchanged, so the old id()-keyed memo returned `before`
+    assert cache.query_hash(graph) == canonical_hash(graph) != before
+
+
+def test_query_hash_correct_for_recycled_ids():
+    cache = QueryCache()
+    recycled = False
+    for attempt in range(50):
+        graph = path_graph(["A", "B", "C"], name=f"a{attempt}")
+        first_id = id(graph)
+        cache.query_hash(graph)
+        del graph
+        gc.collect()
+        other = path_graph(["D", "E", "F", "G"], name=f"b{attempt}")
+        if id(other) == first_id:
+            recycled = True
+            assert cache.query_hash(other) == canonical_hash(other)
+            break
+    if not recycled:
+        pytest.skip("allocator never recycled the id in 50 attempts")
+
+
+# ----------------------------------------------------------------------
+# Canonical-hash keying: sharing across queries, measures, isomorphs
+# ----------------------------------------------------------------------
+def test_warm_cache_serves_repeated_query(db):
+    cache = PairCache()
+    query = figure3_query()
+    with connect(db, cache=cache) as session:
+        cold = session.execute(Query(query).skyline())
+        warm = session.execute(Query(query).skyline())
+    assert cold.stats.exact_evaluations == len(db)
+    assert warm.stats.exact_evaluations == 0
+    assert warm.stats.served_from_cache == len(db)
+    assert warm.names == cold.names
+
+
+def test_cache_shared_across_sessions_and_backends(db):
+    cache = PairCache()
+    query = figure3_query()
+    with connect(db, backend="memory", cache=cache) as session:
+        session.execute(Query(query).skyline())
+    with connect(db, backend="indexed", cache=cache) as session:
+        warm = session.execute(Query(query).skyline())
+    assert warm.stats.exact_evaluations == 0
+
+
+def test_cache_shared_across_measure_subsets(db):
+    cache = PairCache()
+    query = figure3_query()
+    with connect(db, cache=cache) as session:
+        session.execute(Query(query).measures("edit", "mcs", "union").skyline())
+        subset = session.execute(Query(query).measures("edit", "mcs").skyline())
+        single = session.execute(Query(query).topk(3, "edit"))
+    assert subset.stats.exact_evaluations == 0  # per-measure entries re-used
+    assert single.stats.exact_evaluations == 0
+
+
+def test_cache_serves_isomorphic_resubmission(db):
+    cache = PairCache()
+    query = figure3_query()
+    relabeled = LabeledGraph.from_edges(
+        [(f"v{u}", f"v{v}", label) for u, v, label in query.edges()],
+        vertex_labels={
+            f"v{u}": query.vertex_label(u) for u in query.vertices()
+        },
+        name="query-copy",
+    )
+    with connect(db, cache=cache) as session:
+        session.execute(Query(query).skyline())
+        warm = session.execute(Query(relabeled).skyline())
+    assert warm.stats.exact_evaluations == 0  # same canonical hashes
+
+
+def test_symmetric_pairs_share_entries():
+    cache = PairCache(symmetric=True)
+    a, b = canonical_hash(path_graph(["A", "B"])), canonical_hash(
+        path_graph(["B", "C"])
+    )
+    cache.put(a, b, ("edit",), (2.0,))
+    assert cache.get(b, a, ("edit",)) == (2.0,)
+    asymmetric = PairCache(symmetric=False)
+    asymmetric.put(a, b, ("edit",), (2.0,))
+    assert asymmetric.get(b, a, ("edit",)) is None
+
+
+def test_partial_vector_is_a_miss():
+    cache = PairCache()
+    cache.put("h1", "h2", ("edit",), (1.0,))
+    assert cache.get("h1", "h2", ("edit", "mcs")) is None
+    cache.put("h1", "h2", ("mcs",), (0.5,))
+    assert cache.get("h1", "h2", ("edit", "mcs")) == (1.0, 0.5)
+
+
+def test_lru_eviction_and_stats():
+    cache = PairCache(max_entries=2)
+    cache.put("a", "q", ("edit",), (1.0,))
+    cache.put("b", "q", ("edit",), (2.0,))
+    assert cache.get("a", "q", ("edit",)) == (1.0,)  # refresh "a"
+    cache.put("c", "q", ("edit",), (3.0,))  # evicts "b"
+    assert cache.get("b", "q", ("edit",)) is None
+    assert len(cache) == 2
+    assert 0.0 < cache.hit_rate < 1.0
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == 0
+    with pytest.raises(ValueError):
+        PairCache(max_entries=0)
+
+
+def test_querycache_invalidate_subject_is_invalidate_graph():
+    cache = QueryCache()
+    cache.put(0, "q", ("edit",), (1.0,))
+    cache.put(1, "q", ("edit",), (2.0,))
+    cache.invalidate_subject(0)  # id-keyed subclass: subject == graph id
+    assert cache.get(0, "q", ("edit",)) is None
+    assert cache.get(1, "q", ("edit",)) == (2.0,)
+
+
+def test_invalidate_subject():
+    cache = PairCache()
+    cache.put("a", "q", ("edit",), (1.0,))
+    cache.put("b", "q", ("edit",), (2.0,))
+    cache.invalidate_subject("a")
+    assert cache.get("a", "q", ("edit",)) is None
+    assert cache.get("b", "q", ("edit",)) == (2.0,)
+
+
+def test_entries_stay_sound_under_database_mutation(db):
+    """Content-addressed keys: removing and re-adding a graph re-uses its
+    cached pairs instead of serving anything stale."""
+    cache = PairCache()
+    query = figure3_query()
+    with connect(db, cache=cache) as session:
+        session.execute(Query(query).skyline())
+        victim = db.get(0).copy()
+        db.remove(0)
+        db.insert(victim)
+        warm = session.execute(Query(query).skyline())
+    assert warm.stats.exact_evaluations == 0  # same structures, same keys
+    reference = connect(db).execute(Query(query).skyline())
+    assert warm.names == reference.names
