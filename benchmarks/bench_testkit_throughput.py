@@ -1,0 +1,70 @@
+"""Bench A8 — testkit throughput: the harness must stay fast.
+
+The differential harness is only a usable safety net if a few hundred
+steps replay in seconds: every future scaling PR (sharding, async) is
+supposed to run the pinned corpus in CI on every push. This bench
+replays a pinned workload, reports steps/sec and per-category rates, and
+fails if throughput collapses below a floor that keeps the ~60s CI fuzz
+budget honest. Results land in ``BENCH_testkit.json`` for archiving.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import render_table
+from repro.testkit import generate_workload, run_workload
+
+SEED = 2026
+N_STEPS = 200
+#: steps/sec floor: far below observed (~50/s) but catches a collapse.
+MIN_STEPS_PER_SEC = 5.0
+OUTPUT = Path(__file__).resolve().parent / "BENCH_testkit.json"
+
+
+@pytest.mark.benchmark(group="a8-testkit-throughput")
+def test_testkit_replay_throughput():
+    workload = generate_workload(seed=SEED, n_steps=N_STEPS)
+    start = time.perf_counter()
+    report = run_workload(workload)
+    elapsed = time.perf_counter() - start
+    assert report.ok, report.divergence.describe()
+
+    steps_per_sec = report.steps_run / elapsed
+    rows = [
+        ["steps", report.steps_run, round(steps_per_sec, 1)],
+        ["queries (x2: cache off+on)", report.queries,
+         round(report.queries / elapsed, 1)],
+        ["mutations", report.mutations, round(report.mutations / elapsed, 1)],
+        ["view checks", report.view_checks,
+         round(report.view_checks / elapsed, 1)],
+        ["save/load round-trips", report.saveloads,
+         round(report.saveloads / elapsed, 1)],
+    ]
+    print()
+    print(render_table(
+        ["category", "count", "per second"],
+        rows,
+        title=f"A8 — testkit replay throughput (seed={SEED}, {elapsed:.2f}s)",
+    ))
+
+    OUTPUT.write_text(json.dumps({
+        "workload": {"seed": SEED, "steps": N_STEPS},
+        "seconds": elapsed,
+        "steps_per_sec": steps_per_sec,
+        "queries": report.queries,
+        "mutations": report.mutations,
+        "view_checks": report.view_checks,
+        "saveloads": report.saveloads,
+        "combos": report.combos,
+        "cache": {"hits": report.cache_hits, "misses": report.cache_misses},
+    }, indent=2), encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+    assert len(report.combos) == 12, report.combos
+    assert steps_per_sec >= MIN_STEPS_PER_SEC, (
+        f"harness too slow: {steps_per_sec:.1f} steps/s "
+        f"(floor {MIN_STEPS_PER_SEC})"
+    )

@@ -38,6 +38,7 @@ Packages
 ``repro.core``      GCS, similarity-dominance, GSS, diversity refinement
 ``repro.db``        database storage, feature index, pruning executor
 ``repro.datasets``  paper examples and synthetic workloads
+``repro.testkit``   differential workload fuzzing against a trusted oracle
 ``repro.bench``     harness utilities for the reproduction benchmarks
 """
 

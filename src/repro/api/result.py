@@ -74,6 +74,11 @@ class ResultSet:
     refinement:
         Section-VII diversity refinement, when the spec requested one and
         the answer was large enough to need it.
+    cache_info:
+        Pair-cache counters for *this* query (``hits``/``misses`` deltas
+        of the backend's shared cache, plus ``served`` — candidates whose
+        exact vector the cache replaced); ``None`` when the backend runs
+        uncached.
     """
 
     spec: GraphQuery
@@ -85,6 +90,7 @@ class ResultSet:
     distances: dict[int, float] | None = None
     stats: QueryStats = field(default_factory=QueryStats)
     refinement: DiversityResult | None = None
+    cache_info: dict[str, int] | None = None
 
     # -- answer access --------------------------------------------------
     @property
@@ -175,6 +181,8 @@ class ResultSet:
                 "served_from_cache": self.stats.served_from_cache,
             },
         }
+        if self.cache_info is not None:
+            payload["cache"] = dict(self.cache_info)
         if self.refinement is not None:
             payload["refined"] = [
                 graph.name or "?" for graph in self.refinement.subset
@@ -188,6 +196,12 @@ class ResultSet:
     def explain(self) -> str:
         """Human-readable account of the plan, the work, and the answer."""
         lines = [self.plan.describe(), self.stats.summary()]
+        if self.cache_info is not None:
+            lines.append(
+                "pair cache: hits={hits} misses={misses} served={served}".format(
+                    **self.cache_info
+                )
+            )
         if self.spec.kind in ("skyline", "skyband") and self.vectors:
             member = set(self.ids)
             for graph_id in sorted(self.evaluated_ids):

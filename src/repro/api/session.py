@@ -144,7 +144,16 @@ class Session:
             raise QueryError("session is closed")
         spec = self._materialize(query)
         plan = self.plan(spec)
+        cache = getattr(self._backend, "cache", None)
+        counters_before = (cache.hits, cache.misses) if cache is not None else None
         answer = self._backend.run(spec)
+        cache_info = None
+        if counters_before is not None:
+            cache_info = {
+                "hits": cache.hits - counters_before[0],
+                "misses": cache.misses - counters_before[1],
+                "served": answer.stats.served_from_cache,
+            }
 
         refinement = None
         if (
@@ -172,6 +181,7 @@ class Session:
             distances=answer.distances,
             stats=answer.stats,
             refinement=refinement,
+            cache_info=cache_info,
         )
 
     def watch(self, query: "GraphQuery | Query", cache=None) -> "LiveView":

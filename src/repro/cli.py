@@ -11,7 +11,10 @@ Usage (installed as ``python -m repro``):
 * ``python -m repro generate out.json --n 40`` — write a synthetic
   molecule-like workload database (plus ``out.query.json``);
 * ``python -m repro paper-example`` — print the reproduced tables of the
-  paper's worked example.
+  paper's worked example;
+* ``python -m repro fuzz --seed 7 --steps 200`` — differential workload
+  fuzzing against the exhaustive oracle (see :mod:`repro.testkit`); a
+  divergence is shrunk to a minimal repro and exits non-zero.
 
 Graph files are :func:`repro.graph.serialization.graph_to_json` payloads;
 database files are :func:`repro.db.persistence.save_database` payloads.
@@ -127,6 +130,68 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_one(
+    workload, fault: str | None, shrink: bool, save_failure: str | None
+) -> int:
+    from repro.testkit import format_repro, run_workload, shrink_workload
+
+    report = run_workload(workload, fault=fault)
+    if report.ok:
+        print(f"seed {workload.seed}: {report.summary()}")
+        return 0
+    print(f"seed {workload.seed}: {report.summary()}", file=sys.stderr)
+    divergence = report.divergence
+    if shrink:
+        workload, divergence = shrink_workload(
+            workload, lambda cand: run_workload(cand, fault=fault).divergence
+        )
+    if save_failure:
+        Path(save_failure).write_text(workload.to_json(indent=1), encoding="utf-8")
+        print(f"wrote failing workload to {save_failure}", file=sys.stderr)
+    print(format_repro(workload, divergence), file=sys.stderr)
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testkit import Workload, generate_workload
+
+    workloads = []
+    if args.replay:
+        payload = Path(args.replay).read_text(encoding="utf-8")
+        workloads.append(Workload.from_json(payload))
+    elif args.corpus:
+        from repro.errors import SerializationError
+
+        try:
+            corpus = json.loads(Path(args.corpus).read_text(encoding="utf-8"))
+            for entry in corpus:
+                workloads.append(
+                    generate_workload(
+                        seed=entry["seed"],
+                        n_steps=entry.get("steps", args.steps),
+                        max_vertices=entry.get("max_vertices", args.max_vertices),
+                    )
+                )
+        except (KeyError, TypeError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"malformed fuzz corpus {args.corpus}: {exc!r}; expected "
+                '[{"seed": N, "steps": M}, ...]'
+            ) from exc
+    else:
+        workloads.append(
+            generate_workload(
+                seed=args.seed, n_steps=args.steps, max_vertices=args.max_vertices
+            )
+        )
+    for workload in workloads:
+        code = _fuzz_one(
+            workload, args.fault, not args.no_shrink, args.save_failure
+        )
+        if code:
+            return code
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.graph.statistics import collection_statistics, describe_graph
 
@@ -224,6 +289,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_paper = sub.add_parser("paper-example", help="print the reproduced tables")
     p_paper.set_defaults(handler=_cmd_paper_example)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential workload fuzzing against the exhaustive oracle",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="workload derivation seed (default: 0)")
+    p_fuzz.add_argument("--steps", type=int, default=200,
+                        help="steps per workload (default: 200)")
+    p_fuzz.add_argument("--max-vertices", type=int, default=5,
+                        help="largest generated graph (default: 5)")
+    p_fuzz.add_argument("--corpus", default=None,
+                        help="JSON file with a pinned seed corpus: "
+                             '[{"seed": N, "steps": M}, ...]')
+    p_fuzz.add_argument("--replay", default=None,
+                        help="replay a saved workload JSON instead of generating")
+    p_fuzz.add_argument("--fault", default=None,
+                        help="inject a known-broken engine stage "
+                             "(harness self-test; e.g. flip-bound)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report the first divergence without minimizing")
+    p_fuzz.add_argument("--save-failure", default=None,
+                        help="write the (shrunk) failing workload JSON here")
+    p_fuzz.set_defaults(handler=_cmd_fuzz)
 
     return parser
 

@@ -1,0 +1,444 @@
+"""Differential execution: replay a workload against system and oracle.
+
+The :class:`WorkloadRunner` holds one real :class:`~repro.db.database.
+GraphDatabase` and one :class:`~repro.testkit.oracle.Oracle` mirror and
+applies every workload step to both. Query steps run on the step's
+backend twice — cache off and cache on (one :class:`~repro.db.cache.
+PairCache` shared across all cached sessions, exactly like a production
+deployment) — and both answers must equal the oracle's. Live-view checks
+compare every open :class:`~repro.engine.views.LiveView` against the
+oracle's skyline; persistence steps save/load the database and require
+payload and answer parity.
+
+Steps that reference a dead handle are skipped (counted, not failed) so
+any subsequence of a workload replays — the property the shrinker needs.
+The first check that disagrees stops the run and is reported as a
+:class:`Divergence`; an unexpected exception inside a step is reported
+the same way, so crash bugs shrink just like wrong-answer bugs.
+
+``fault=`` injects a deliberately broken engine stage (see
+:data:`FAULTS`) — the harness's own smoke test: a sign-flipped bound
+must be caught and shrunk to a printable repro.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.backends import ExecutionBackend, IndexedBackend, MemoryBackend
+from repro.api.parallel import ParallelBackend
+from repro.api.session import Session
+from repro.api.spec import GraphQuery
+from repro.db.cache import PairCache
+from repro.db.database import GraphDatabase
+from repro.db.persistence import load_database, save_database
+from repro.engine.plan import Candidate, EvaluationPlan, Stage
+from repro.errors import QueryError
+from repro.engine.evaluate import SerialEvaluator
+from repro.graph.serialization import graph_to_dict
+from repro.skyline.utils import dominates
+from repro.testkit.oracle import Oracle
+from repro.testkit.workload import (
+    AddGraph,
+    CheckViews,
+    RelabelGraph,
+    RemoveGraph,
+    RunQuery,
+    SaveLoad,
+    Step,
+    WatchView,
+    Workload,
+)
+
+
+# ----------------------------------------------------------------------
+# Fault injection: deliberately unsound engine stages
+# ----------------------------------------------------------------------
+class _FlippedParetoStage(Stage):
+    """Pareto pruning with the dominance test backwards: prunes a
+    candidate when its *optimistic bound* dominates a known exact vector
+    — i.e. exactly the promising candidates."""
+
+    name = "pareto-bound(sign-flipped)"
+
+    def __init__(self, tolerance: float) -> None:
+        self.tolerance = tolerance
+        self._exact: list[tuple[float, ...]] = []
+
+    def decide(self, candidate: Candidate) -> "str | None":
+        if candidate.bounds is None:
+            return None
+        for vector in self._exact:
+            if dominates(candidate.bounds, vector, self.tolerance):
+                return "prune"
+        return None
+
+    def observe(self, graph_id: int, values: tuple[float, ...]) -> None:
+        self._exact.append(values)
+
+
+class _FlippedRankStage(Stage):
+    """Top-k cutoff backwards: prunes bounds *below* the k-th best."""
+
+    name = "rank-bound(sign-flipped)"
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._best: list[float] = []
+
+    def decide(self, candidate: Candidate) -> "str | None":
+        if candidate.bounds is None or len(self._best) < self.k:
+            return None
+        if candidate.bounds[0] <= sorted(self._best)[self.k - 1]:
+            return "prune"
+        return None
+
+    def observe(self, graph_id: int, values: tuple[float, ...]) -> None:
+        self._best.append(values[0])
+
+
+class _FlippedThresholdStage(Stage):
+    """Range pruning backwards: prunes bounds *within* the threshold."""
+
+    name = "threshold-bound(sign-flipped)"
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = threshold
+
+    def decide(self, candidate: Candidate) -> "str | None":
+        if candidate.bounds is not None and candidate.bounds[0] <= self.threshold:
+            return "prune"
+        return None
+
+
+def _flipped_bound_pruning(ctx) -> Stage:
+    spec = ctx.spec
+    if spec.kind in ("skyline", "skyband"):
+        return _FlippedParetoStage(spec.tolerance)
+    if spec.kind == "topk":
+        return _FlippedRankStage(spec.k)
+    return _FlippedThresholdStage(spec.threshold)
+
+
+class BrokenBoundIndexedBackend(IndexedBackend):
+    """The ``indexed`` backend with its bound stage sign-flipped."""
+
+    def build_plan(self, spec: GraphQuery) -> EvaluationPlan:
+        prune = (_flipped_bound_pruning,) if self.use_index else ()
+        return EvaluationPlan(
+            source=super().build_plan(spec).source,
+            cascade=prune + self._cache_stages(),
+            evaluator=SerialEvaluator(),
+            stage_labels=("bound(sign-flipped)",) + self._cache_labels(),
+        )
+
+
+#: Injectable faults: name -> replacement class for the indexed backend.
+FAULTS: dict[str, type[ExecutionBackend]] = {
+    "flip-bound": BrokenBoundIndexedBackend,
+}
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Divergence:
+    """One check where the system under test disagreed with the oracle."""
+
+    step_index: int
+    step: Step
+    check: str
+    expected: list[str]
+    actual: list[str]
+    backend: str | None = None
+    cached: bool | None = None
+
+    @property
+    def query_json(self) -> str | None:
+        """The exact GraphQuery JSON of the diverging step, if it has one."""
+        query = getattr(self.step, "query", None)
+        return query.to_json(sort_keys=True) if query is not None else None
+
+    def describe(self) -> str:
+        where = f"step {self.step_index} ({self.step.describe()})"
+        extra = ""
+        if self.backend is not None:
+            extra = f" on backend {self.backend!r} cache={'on' if self.cached else 'off'}"
+        return (
+            f"{self.check} divergence at {where}{extra}:\n"
+            f"  expected: {self.expected}\n"
+            f"  actual:   {self.actual}"
+        )
+
+
+@dataclass
+class RunReport:
+    """Outcome and coverage counters of one workload replay."""
+
+    steps_run: int = 0
+    queries: int = 0
+    mutations: int = 0
+    view_checks: int = 0
+    saveloads: int = 0
+    skipped: int = 0
+    combos: dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed: float = 0.0
+    divergence: Divergence | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "DIVERGED"
+        return (
+            f"{verdict}: {self.steps_run} steps "
+            f"({self.queries} queries over {len(self.combos)} kindxbackend "
+            f"combos, {self.mutations} mutations, {self.view_checks} view "
+            f"checks, {self.saveloads} save/load round-trips, "
+            f"{self.skipped} skipped) in {self.elapsed:.2f}s; "
+            f"pair cache {self.cache_hits} hits / {self.cache_misses} misses"
+        )
+
+
+def _payload_digest(graph) -> str:
+    payload = json.dumps(graph_to_dict(graph), sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class WorkloadRunner:
+    """Replays workloads differentially; one instance per replay.
+
+    Parameters
+    ----------
+    fault:
+        Optional :data:`FAULTS` key; replaces the ``indexed`` backend
+        with the deliberately broken variant (harness self-test).
+    max_workers:
+        Pool size for the ``parallel`` backend sessions.
+    """
+
+    def __init__(self, fault: str | None = None, max_workers: int = 2) -> None:
+        if fault is not None and fault not in FAULTS:
+            raise QueryError(
+                f"unknown fault {fault!r}; available: {', '.join(sorted(FAULTS))}"
+            )
+        self.database = GraphDatabase(name="testkit")
+        self.oracle = Oracle()
+        self.cache = PairCache()
+        self.fault = fault
+        self.max_workers = max_workers
+        self._handle_to_id: dict[str, int] = {}
+        self._id_to_handle: dict[int, str] = {}
+        self._sessions: dict[tuple[str, bool], Session] = {}
+        self._views: dict[str, Any] = {}
+
+    # -- sessions --------------------------------------------------------
+    def _backend(self, name: str, cached: bool) -> ExecutionBackend:
+        if name not in ("memory", "indexed", "parallel"):
+            # Reject rather than fall back: a typo'd backend in a
+            # hand-edited workload would silently run memory semantics
+            # and trivially "pass" against the oracle.
+            raise QueryError(
+                f"unknown workload backend {name!r}; "
+                "available: memory, indexed, parallel"
+            )
+        cache = self.cache if cached else None
+        if name == "indexed":
+            cls = FAULTS[self.fault] if self.fault else IndexedBackend
+            return cls(self.database, cache=cache)
+        if name == "parallel":
+            return ParallelBackend(
+                self.database, max_workers=self.max_workers, cache=cache
+            )
+        return MemoryBackend(self.database, cache=cache)
+
+    def session(self, name: str, cached: bool) -> Session:
+        key = (name, cached)
+        if key not in self._sessions:
+            self._sessions[key] = Session(
+                self.database, backend=self._backend(name, cached)
+            )
+        return self._sessions[key]
+
+    def close(self) -> None:
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+        self._views.clear()
+
+    # -- step application -------------------------------------------------
+    def _translate(self, ids: list[int]) -> list[str]:
+        return [self._id_to_handle.get(i, f"#<unknown {i}>") for i in ids]
+
+    def _check_integrity(self, index: int, step: Step) -> Divergence | None:
+        expected = sorted(self._handle_to_id)
+        actual = sorted(
+            self._id_to_handle[i]
+            for i in self.database.ids()
+            if i in self._id_to_handle
+        )
+        if expected != actual or len(self.database) != len(self.oracle):
+            return Divergence(index, step, "ids", expected, actual)
+        return None
+
+    def _apply_mutation(self, index: int, step: Step, report: RunReport):
+        if isinstance(step, AddGraph):
+            if step.handle in self.oracle:
+                report.skipped += 1
+                return None
+            graph_id = self.database.insert(step.graph)
+            self.oracle.add(step.handle, step.graph)
+            self._handle_to_id[step.handle] = graph_id
+            self._id_to_handle[graph_id] = step.handle
+        elif isinstance(step, RemoveGraph):
+            if step.handle not in self.oracle:
+                report.skipped += 1
+                return None
+            graph_id = self._handle_to_id.pop(step.handle)
+            del self._id_to_handle[graph_id]
+            self.database.remove(graph_id)
+            self.oracle.remove(step.handle)
+        else:  # RelabelGraph
+            assert isinstance(step, RelabelGraph)
+            if step.handle not in self.oracle or step.new_handle in self.oracle:
+                report.skipped += 1
+                return None
+            old_id = self._handle_to_id.pop(step.handle)
+            relabeled = self.database.get(old_id).copy(name=step.new_handle)
+            vertex = relabeled.vertices()[step.vertex_index % relabeled.order]
+            relabeled.relabel_vertex(vertex, step.label)
+            del self._id_to_handle[old_id]
+            self.database.remove(old_id)
+            self.oracle.remove(step.handle)
+            new_id = self.database.insert(relabeled)
+            self.oracle.add(step.new_handle, relabeled)
+            self._handle_to_id[step.new_handle] = new_id
+            self._id_to_handle[new_id] = step.new_handle
+        report.mutations += 1
+        return self._check_integrity(index, step)
+
+    def _apply_query(self, index: int, step: RunQuery, report: RunReport):
+        expected = self.oracle.answer(step.query)
+        for cached in (False, True):
+            result = self.session(step.backend, cached).execute(step.query)
+            actual = self._translate(result.ids)
+            if actual != expected:
+                return Divergence(
+                    index, step, "query", expected, actual,
+                    backend=step.backend, cached=cached,
+                )
+        report.queries += 1
+        combo = f"{step.query.kind}/{step.backend}"
+        report.combos[combo] = report.combos.get(combo, 0) + 1
+        return None
+
+    def _apply_views(self, index: int, step: Step, report: RunReport):
+        for view_id, view in sorted(self._views.items()):
+            expected = self.oracle.answer(view.spec)
+            actual = self._translate(view.ids)
+            if actual != expected:
+                return Divergence(
+                    index, step, f"view:{view_id}", expected, actual
+                )
+        report.view_checks += 1
+        return None
+
+    def _apply_saveload(self, index: int, step: SaveLoad, report: RunReport):
+        with tempfile.TemporaryDirectory(prefix="repro-testkit-") as tmp:
+            path = Path(tmp) / "db.json"
+            save_database(self.database, path)
+            loaded = load_database(path)
+        live_payloads = sorted(
+            _payload_digest(graph) for graph in self.database.graphs()
+        )
+        loaded_payloads = sorted(
+            _payload_digest(graph) for graph in loaded.graphs()
+        )
+        if live_payloads != loaded_payloads:
+            return Divergence(
+                index, step, "persistence", live_payloads, loaded_payloads
+            )
+        expected = [
+            _payload_digest(self.oracle.graph(handle))
+            for handle in self.oracle.answer(step.query)
+        ]
+        with Session(loaded, backend="memory") as session:
+            result = session.execute(step.query)
+            actual = [_payload_digest(graph) for graph in result.graphs]
+        if sorted(expected) != sorted(actual):
+            return Divergence(
+                index, step, "persistence-query", sorted(expected), sorted(actual)
+            )
+        report.saveloads += 1
+        return None
+
+    def apply(self, index: int, step: Step, report: RunReport):
+        """Apply one step; returns a Divergence or None."""
+        if isinstance(step, (AddGraph, RemoveGraph, RelabelGraph)):
+            return self._apply_mutation(index, step, report)
+        if isinstance(step, RunQuery):
+            if len(self.oracle) == 0:
+                report.skipped += 1
+                return None
+            return self._apply_query(index, step, report)
+        if isinstance(step, WatchView):
+            self._views[step.view_id] = self.session("memory", True).watch(
+                step.query
+            )
+            return None
+        if isinstance(step, CheckViews):
+            if not self._views:
+                report.skipped += 1
+                return None
+            return self._apply_views(index, step, report)
+        if isinstance(step, SaveLoad):
+            if len(self.oracle) == 0:
+                report.skipped += 1
+                return None
+            return self._apply_saveload(index, step, report)
+        raise TypeError(f"unknown workload step {step!r}")
+
+    # -- replay -----------------------------------------------------------
+    def run(self, workload: Workload) -> RunReport:
+        """Replay ``workload`` until done or first divergence."""
+        report = RunReport()
+        start = time.perf_counter()
+        for index, step in enumerate(workload.steps):
+            try:
+                divergence = self.apply(index, step, report)
+            except Exception as exc:  # crash bugs shrink like wrong answers
+                divergence = Divergence(
+                    index, step, "exception", [], [f"{type(exc).__name__}: {exc}"]
+                )
+            report.steps_run += 1
+            if divergence is not None:
+                report.divergence = divergence
+                break
+        report.elapsed = time.perf_counter() - start
+        report.cache_hits = self.cache.hits
+        report.cache_misses = self.cache.misses
+        return report
+
+
+def run_workload(
+    workload: Workload, fault: str | None = None, max_workers: int = 2
+) -> RunReport:
+    """Replay ``workload`` in a fresh runner; sessions closed afterwards."""
+    runner = WorkloadRunner(fault=fault, max_workers=max_workers)
+    try:
+        return runner.run(workload)
+    finally:
+        runner.close()

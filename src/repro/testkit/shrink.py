@@ -1,0 +1,96 @@
+"""First-divergence shrinking: minimize a failing workload's step list.
+
+Workload steps were designed so any subsequence replays (dead-handle
+references become no-ops), which turns shrinking into plain delta
+debugging over a list: repeatedly try dropping chunks of steps —
+halving the chunk size down to single steps — and keep every removal
+that still reproduces *a* divergence. The result is 1-minimal: removing
+any single remaining step makes the failure disappear.
+
+:func:`format_repro` renders the minimal workload as the artifact a bug
+report needs: the numbered step list, the exact
+:class:`~repro.api.spec.GraphQuery` JSON of the diverging step, the
+expected-vs-actual answers, and a replay command.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.testkit.runner import Divergence
+from repro.testkit.workload import Workload
+
+
+def shrink_workload(
+    workload: Workload,
+    reproduces: "Callable[[Workload], Divergence | None]",
+    max_replays: int = 400,
+) -> tuple[Workload, Divergence]:
+    """Minimize ``workload`` while ``reproduces`` keeps returning a
+    divergence; returns the minimal workload and its divergence.
+
+    ``reproduces`` replays a candidate workload in a *fresh* runner and
+    returns its divergence (or ``None`` when it passes) — see
+    :func:`repro.testkit.runner.run_workload`. ``max_replays`` bounds
+    total replay work; shrinking stops early at the bound and returns
+    the best reduction found so far.
+    """
+    divergence = reproduces(workload)
+    if divergence is None:
+        raise ValueError("workload does not reproduce a divergence")
+    steps = list(workload.steps)
+    replays = 0
+
+    def attempt(trial_steps: list) -> Divergence | None:
+        nonlocal replays
+        replays += 1
+        return reproduces(Workload(seed=workload.seed, steps=tuple(trial_steps)))
+
+    chunk = max(1, len(steps) // 2)
+    while chunk >= 1:
+        removed_any = False
+        start = 0
+        while start < len(steps) and replays < max_replays:
+            trial = steps[:start] + steps[start + chunk:]
+            if not trial:
+                start += chunk
+                continue
+            verdict = attempt(trial)
+            if verdict is not None:
+                steps = trial
+                divergence = verdict
+                removed_any = True
+                # re-test the same offset: the next chunk slid into place
+            else:
+                start += chunk
+        if replays >= max_replays:
+            break
+        if chunk == 1:
+            if not removed_any:
+                break  # 1-minimal
+        else:
+            chunk = max(1, chunk // 2)
+    return Workload(seed=workload.seed, steps=tuple(steps)), divergence
+
+
+def format_repro(workload: Workload, divergence: Divergence) -> str:
+    """Human-pasteable reproduction report for a shrunk workload."""
+    lines = [
+        f"minimal reproducing workload ({len(workload.steps)} steps, "
+        f"seed {workload.seed}):",
+    ]
+    for index, step in enumerate(workload.steps):
+        marker = " <-- diverges here" if index == divergence.step_index else ""
+        lines.append(f"  [{index:3d}] {step.describe()}{marker}")
+    lines.append("")
+    lines.append(divergence.describe())
+    if divergence.query_json is not None:
+        lines.append("")
+        lines.append("GraphQuery JSON of the diverging step:")
+        lines.append(f"  {divergence.query_json}")
+    lines.append("")
+    lines.append(
+        "replay: save the workload JSON (Workload.to_json) and run "
+        "`python -m repro fuzz --replay FILE`"
+    )
+    return "\n".join(lines)

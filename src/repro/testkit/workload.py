@@ -1,0 +1,447 @@
+"""Replayable workloads: concrete steps and the seed-driven generator.
+
+A :class:`Workload` is a plain list of fully concrete :class:`Step`
+objects — every graph, query spec and choice is materialized at
+generation time, so the same workload replays identically forever and
+any *subsequence* of its steps is still a valid workload (steps that
+reference a graph handle no longer alive simply become no-ops during
+replay). That subsequence property is what makes first-divergence
+shrinking (:mod:`repro.testkit.shrink`) a pure list-minimization
+problem.
+
+Graphs are referenced by workload-local string handles (``"g0"``,
+``"g1"``, …) rather than database ids: database ids depend on how many
+inserts actually executed, which would change under shrinking; handles
+are stable names the runner maps to live ids at replay time.
+
+Everything serializes to JSON (:meth:`Workload.to_json`) so a failing
+workload can be saved, attached to a bug report, and replayed with
+``python -m repro fuzz --replay FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.api.spec import GraphQuery
+from repro.datasets.synthetic import ATOMS, BONDS, molecule_like_graph
+from repro.errors import SerializationError
+from repro.graph.generators import mutate
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+
+#: Backends every generated workload exercises.
+WORKLOAD_BACKENDS: tuple[str, ...] = ("memory", "indexed", "parallel")
+
+#: GCS measure subsets queries cycle through (``None`` = paper default).
+MEASURE_POOLS: tuple[tuple[str, ...] | None, ...] = (
+    None,
+    ("edit",),
+    ("edit", "mcs"),
+    ("mcs", "union"),
+    ("edit", "mcs", "union"),
+)
+
+
+@dataclass(frozen=True)
+class Step:
+    """Base of all workload steps; subclasses set :attr:`op`."""
+
+    op: ClassVar[str] = "step"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op}
+
+    def describe(self) -> str:
+        return self.op
+
+
+@dataclass(frozen=True)
+class AddGraph(Step):
+    """Insert ``graph`` under the workload-local ``handle``."""
+
+    handle: str
+    graph: LabeledGraph
+
+    op: ClassVar[str] = "add"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "handle": self.handle,
+            "graph": graph_to_dict(self.graph),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"add {self.handle} ({self.graph.order} vertices, "
+            f"{self.graph.size} edges)"
+        )
+
+
+@dataclass(frozen=True)
+class RemoveGraph(Step):
+    """Remove the graph stored under ``handle`` (no-op if not live)."""
+
+    handle: str
+
+    op: ClassVar[str] = "remove"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op, "handle": self.handle}
+
+    def describe(self) -> str:
+        return f"remove {self.handle}"
+
+
+@dataclass(frozen=True)
+class RelabelGraph(Step):
+    """Relabel one vertex of ``handle``'s graph; the relabeled copy
+    replaces the original under ``new_handle`` (remove + insert, the
+    database's only update path). No-op if ``handle`` is not live.
+
+    ``vertex_index`` selects a vertex positionally (mod order) so the
+    step stays applicable to any graph.
+    """
+
+    handle: str
+    new_handle: str
+    vertex_index: int
+    label: str
+
+    op: ClassVar[str] = "relabel"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "handle": self.handle,
+            "new_handle": self.new_handle,
+            "vertex_index": self.vertex_index,
+            "label": self.label,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"relabel {self.handle} vertex[{self.vertex_index}] -> "
+            f"{self.label!r} as {self.new_handle}"
+        )
+
+
+@dataclass(frozen=True)
+class RunQuery(Step):
+    """Execute ``query`` on ``backend`` with cache off AND on; both
+    answers must equal the oracle's."""
+
+    query: GraphQuery
+    backend: str
+
+    op: ClassVar[str] = "query"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "backend": self.backend,
+            "query": self.query.to_dict(),
+        }
+
+    def describe(self) -> str:
+        return f"{self.query.kind} query on {self.backend!r}"
+
+
+@dataclass(frozen=True)
+class WatchView(Step):
+    """Open (or replace) the live view ``view_id`` over a skyline spec."""
+
+    view_id: str
+    query: GraphQuery
+
+    op: ClassVar[str] = "watch"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "view_id": self.view_id,
+            "query": self.query.to_dict(),
+        }
+
+    def describe(self) -> str:
+        return f"watch live view {self.view_id}"
+
+
+@dataclass(frozen=True)
+class CheckViews(Step):
+    """Assert every open live view equals the oracle's skyline."""
+
+    op: ClassVar[str] = "check-views"
+
+    def describe(self) -> str:
+        return "check live views against oracle"
+
+
+@dataclass(frozen=True)
+class SaveLoad(Step):
+    """Persistence round-trip: save the database, load it back, and
+    answer ``query`` on the loaded copy; the answer (as a multiset of
+    graph payloads) must match the oracle's over the live database."""
+
+    query: GraphQuery
+
+    op: ClassVar[str] = "save-load"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op, "query": self.query.to_dict()}
+
+    def describe(self) -> str:
+        return "save/load round-trip + query parity"
+
+
+_STEP_TYPES: dict[str, type[Step]] = {
+    cls.op: cls
+    for cls in (
+        AddGraph,
+        RemoveGraph,
+        RelabelGraph,
+        RunQuery,
+        WatchView,
+        CheckViews,
+        SaveLoad,
+    )
+}
+
+
+def step_from_dict(payload: dict[str, Any]) -> Step:
+    """Rebuild one step from its :meth:`Step.to_dict` payload."""
+    try:
+        op = payload["op"]
+        cls = _STEP_TYPES[op]
+    except KeyError as exc:
+        raise SerializationError(f"malformed workload step: {exc}") from exc
+    if cls is AddGraph:
+        return AddGraph(payload["handle"], graph_from_dict(payload["graph"]))
+    if cls is RemoveGraph:
+        return RemoveGraph(payload["handle"])
+    if cls is RelabelGraph:
+        return RelabelGraph(
+            payload["handle"],
+            payload["new_handle"],
+            payload["vertex_index"],
+            payload["label"],
+        )
+    if cls is RunQuery:
+        return RunQuery(GraphQuery.from_dict(payload["query"]), payload["backend"])
+    if cls is WatchView:
+        return WatchView(payload["view_id"], GraphQuery.from_dict(payload["query"]))
+    if cls is SaveLoad:
+        return SaveLoad(GraphQuery.from_dict(payload["query"]))
+    return CheckViews()
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A replayable step sequence (plus the seed it was derived from)."""
+
+    seed: int
+    steps: tuple[Step, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Workload":
+        try:
+            steps = tuple(step_from_dict(step) for step in payload["steps"])
+            return cls(seed=int(payload.get("seed", 0)), steps=steps)
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(f"malformed workload payload: {exc}") from exc
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Workload":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"malformed workload JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def _query_graph(
+    rng: random.Random,
+    live: dict[str, LabeledGraph],
+    max_vertices: int,
+    recent: list[LabeledGraph],
+) -> LabeledGraph:
+    """A query graph: a re-used earlier query (exercising cross-query
+    PairCache sharing), a mutant of a live graph, or a fresh molecule."""
+    if recent and rng.random() < 0.3:
+        return rng.choice(recent)
+    if live and rng.random() < 0.5:
+        base = live[rng.choice(sorted(live))]
+        return mutate(
+            base,
+            rng.randint(1, 2),
+            vertex_labels=ATOMS,
+            edge_labels=BONDS,
+            seed=rng,
+            name="q",
+        )
+    return molecule_like_graph(rng.randint(3, max_vertices), seed=rng, name="q")
+
+
+def _query_spec(
+    rng: random.Random,
+    graph: LabeledGraph,
+    kind: str,
+    backend: str,
+) -> GraphQuery:
+    """One concrete validated spec for (kind, backend).
+
+    Tolerance > 0 is only generated for non-pruning backends with the
+    definitional ``naive`` algorithm: tolerant dominance is not
+    transitive, so pruning-then-selecting can legitimately differ from
+    exhaustive selection — that is a semantics caveat, not a bug the
+    harness should report.
+    """
+    measures = rng.choice(MEASURE_POOLS)
+    algorithm = rng.choice(("bnl", "sfs", "dnc", "naive"))
+    tolerance = 0.0
+    if backend != "indexed" and rng.random() < 0.15:
+        tolerance = 0.25
+        algorithm = "naive"
+    limit = rng.randint(1, 4) if rng.random() < 0.2 else None
+    kwargs: dict[str, Any] = {
+        "graph": graph,
+        "kind": kind,
+        "measures": measures,
+        "algorithm": algorithm,
+        "tolerance": tolerance,
+        "limit": limit,
+    }
+    if kind in ("skyband", "topk"):
+        kwargs["k"] = rng.randint(1, 4)
+    if kind in ("topk", "threshold"):
+        kwargs["measure"] = rng.choice(("edit", "mcs", "union", None))
+    if kind == "threshold":
+        kwargs["threshold"] = round(rng.uniform(0.5, 6.0), 3)
+    if kind in ("skyline", "skyband") and tolerance == 0.0 and rng.random() < 0.1:
+        kwargs["refine_k"] = 2
+        kwargs["refine_method"] = rng.choice(("exhaustive", "greedy"))
+    return GraphQuery(**kwargs).validate()
+
+
+def generate_workload(
+    seed: int,
+    n_steps: int,
+    max_vertices: int = 5,
+    max_live: int = 10,
+    max_views: int = 3,
+) -> Workload:
+    """Derive a concrete workload deterministically from ``seed``.
+
+    The step mix interleaves mutations (~40%, add-biased until
+    ``max_live`` graphs are live), queries (~42%, cycling through every
+    (kind, backend) combination so all 12 are covered), live-view opens
+    and checks, and persistence round-trips. ``max_vertices`` bounds
+    graph size (exact GED/MCS solving is exponential, and the harness
+    must stay fast).
+    """
+    rng = random.Random(seed)
+    combos = [
+        (kind, backend)
+        for kind in ("skyline", "skyband", "topk", "threshold")
+        for backend in WORKLOAD_BACKENDS
+    ]
+    rng.shuffle(combos)
+    combo_cursor = 0
+
+    live: dict[str, LabeledGraph] = {}
+    recent_queries: list[LabeledGraph] = []
+    views_open = 0
+    counter = 0
+    steps: list[Step] = []
+
+    def fresh_handle() -> str:
+        nonlocal counter
+        handle = f"g{counter}"
+        counter += 1
+        return handle
+
+    def add_step() -> Step:
+        handle = fresh_handle()
+        graph = molecule_like_graph(
+            rng.randint(3, max_vertices), seed=rng, name=handle
+        )
+        live[handle] = graph
+        return AddGraph(handle, graph)
+
+    while len(steps) < n_steps:
+        if len(live) < 3:
+            steps.append(add_step())
+            continue
+        roll = rng.random()
+        if roll < 0.22:
+            if len(live) >= max_live:
+                victim = rng.choice(sorted(live))
+                del live[victim]
+                steps.append(RemoveGraph(victim))
+            else:
+                steps.append(add_step())
+        elif roll < 0.32:
+            victim = rng.choice(sorted(live))
+            del live[victim]
+            steps.append(RemoveGraph(victim))
+        elif roll < 0.39:
+            handle = rng.choice(sorted(live))
+            new_handle = fresh_handle()
+            relabeled = live.pop(handle).copy(name=new_handle)
+            index = rng.randrange(max(relabeled.order, 1))
+            label = rng.choice(ATOMS)
+            vertex = relabeled.vertices()[index % relabeled.order]
+            relabeled.relabel_vertex(vertex, label)
+            live[new_handle] = relabeled
+            steps.append(RelabelGraph(handle, new_handle, index, label))
+        elif roll < 0.81:
+            kind, backend = combos[combo_cursor % len(combos)]
+            combo_cursor += 1
+            spec = _query_spec(
+                rng, _query_graph(rng, live, max_vertices, recent_queries), kind, backend
+            )
+            recent_queries.append(spec.graph)
+            del recent_queries[:-5]
+            steps.append(RunQuery(spec, backend))
+        elif roll < 0.86 and views_open < max_views:
+            spec = _query_spec(
+                rng, _query_graph(rng, live, max_vertices, recent_queries), "skyline", "memory"
+            )
+            if spec.refine_k is not None or spec.tolerance > 0:
+                # Views support neither refinement nor (soundly) tolerant
+                # incremental dominance; keep the rest of the spec.
+                spec = GraphQuery(
+                    graph=spec.graph,
+                    kind="skyline",
+                    measures=spec.measures,
+                    limit=spec.limit,
+                ).validate()
+            steps.append(WatchView(f"v{views_open}", spec))
+            views_open += 1
+        elif roll < 0.94:
+            steps.append(CheckViews())
+        else:
+            spec = _query_spec(
+                rng, _query_graph(rng, live, max_vertices, recent_queries), "skyline", "memory"
+            )
+            steps.append(SaveLoad(spec))
+    return Workload(seed=seed, steps=tuple(steps))

@@ -1,14 +1,34 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, hypothesis profiles and strategies for the suite."""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.datasets import figure1_pair, figure3_database, figure3_query
+from repro.db import GraphDatabase
 from repro.graph import LabeledGraph, path_graph
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles
+# ----------------------------------------------------------------------
+# ``ci`` is deterministic (derandomized, bounded examples) so property
+# tests cannot flake in CI; select it with HYPOTHESIS_PROFILE=ci. Tests
+# that pass their own ``settings(...)`` still inherit derandomization —
+# only the fields they set explicitly override the profile.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile("dev", max_examples=60, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 # ----------------------------------------------------------------------
@@ -46,6 +66,17 @@ def paper_db() -> list[LabeledGraph]:
 @pytest.fixture
 def paper_query() -> LabeledGraph:
     return figure3_query()
+
+
+@pytest.fixture
+def paper_database() -> GraphDatabase:
+    """The figure-3 graphs loaded into a GraphDatabase.
+
+    The single definition of the fixture previously duplicated across
+    ``test_engine*.py``, ``test_api*.py``, ``test_live_view.py`` and
+    ``test_pair_cache.py``.
+    """
+    return GraphDatabase.from_graphs(figure3_database(), name="fig3")
 
 
 # ----------------------------------------------------------------------

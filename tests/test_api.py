@@ -25,10 +25,7 @@ from repro.measures import EditDistance
 
 SEED_SKYLINE = ["g1", "g4", "g5", "g7"]
 
-
-@pytest.fixture
-def paper_database():
-    return GraphDatabase.from_graphs(figure3_database(), name="fig3")
+# ``paper_database`` / ``paper_query`` come from the shared conftest.
 
 
 # ----------------------------------------------------------------------

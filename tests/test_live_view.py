@@ -10,18 +10,20 @@ removal).
 import pytest
 
 from repro import GraphDatabase, PairCache, Query, connect
-from repro.datasets import figure3_database, figure3_query, make_workload
+from repro.datasets import figure3_database, make_workload
 from repro.errors import QueryError
 
 
+# The figure-3 fixtures live in conftest.py; module-local aliases keep
+# the short parameter names this module's tests read naturally with.
 @pytest.fixture
-def db():
-    return GraphDatabase.from_graphs(figure3_database())
+def db(paper_database):
+    return paper_database
 
 
 @pytest.fixture
-def query():
-    return figure3_query()
+def query(paper_query):
+    return paper_query
 
 
 def _fresh_answer(db, query):

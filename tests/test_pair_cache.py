@@ -10,16 +10,17 @@ import gc
 
 import pytest
 
-from repro import GraphDatabase, PairCache, Query, connect
-from repro.datasets import figure3_database, figure3_query
+from repro import PairCache, Query, connect
+from repro.datasets import figure3_query
 from repro.db import QueryCache
 from repro.graph import LabeledGraph, path_graph
 from repro.graph.canonical import canonical_hash
 
 
+# Figure-3 database fixture lives in conftest.py; alias the short name.
 @pytest.fixture
-def db():
-    return GraphDatabase.from_graphs(figure3_database())
+def db(paper_database):
+    return paper_database
 
 
 # ----------------------------------------------------------------------

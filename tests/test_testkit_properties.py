@@ -1,0 +1,87 @@
+"""Hypothesis properties of the workload generator and runner.
+
+The harness itself must be trustworthy: generation is a pure function of
+the seed, workloads survive the JSON wire format, arbitrary subsequences
+replay (the shrinker's precondition), and small random workloads are
+divergence-free against the oracle.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.testkit import Workload, generate_workload, run_workload
+from repro.testkit.oracle import Oracle
+from repro.testkit.workload import RunQuery
+
+relaxed = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(seed=seeds)
+@settings(max_examples=50, deadline=None)
+def test_generation_is_deterministic(seed):
+    first = generate_workload(seed=seed, n_steps=25)
+    second = generate_workload(seed=seed, n_steps=25)
+    assert first.to_json(sort_keys=True) == second.to_json(sort_keys=True)
+
+
+@given(seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_workload_survives_json_round_trip(seed):
+    workload = generate_workload(seed=seed, n_steps=20)
+    restored = Workload.from_json(workload.to_json())
+    assert restored.to_dict() == workload.to_dict()
+    # Specs inside query steps revalidate on the way back in.
+    for step in restored.steps:
+        if isinstance(step, RunQuery):
+            step.query.validate()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@relaxed
+def test_small_workloads_replay_divergence_free(seed):
+    report = run_workload(generate_workload(seed=seed, n_steps=12))
+    assert report.ok, report.divergence.describe()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000), data=st.data())
+@relaxed
+def test_any_subsequence_replays_divergence_free(seed, data):
+    """The shrinker's precondition: dropping arbitrary steps can only
+    skip work, never fabricate a divergence or crash."""
+    workload = generate_workload(seed=seed, n_steps=14)
+    keep = data.draw(
+        st.lists(
+            st.booleans(), min_size=len(workload), max_size=len(workload)
+        )
+    )
+    subsequence = Workload(
+        seed=seed,
+        steps=tuple(s for s, kept in zip(workload.steps, keep) if kept),
+    )
+    report = run_workload(subsequence)
+    assert report.ok, report.divergence.describe()
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@relaxed
+def test_oracle_mirror_tracks_membership(seed):
+    """Oracle bookkeeping: handles() is insertion-ordered and remove()
+    forgets memoized values (no stale vectors after re-adding)."""
+    workload = generate_workload(seed=seed, n_steps=10)
+    oracle = Oracle()
+    from repro.testkit.workload import AddGraph, RemoveGraph
+
+    for step in workload.steps:
+        if isinstance(step, AddGraph):
+            oracle.add(step.handle, step.graph)
+        elif isinstance(step, RemoveGraph) and step.handle in oracle:
+            oracle.remove(step.handle)
+    handles = oracle.handles()
+    assert len(handles) == len(set(handles)) == len(oracle)
+    assert handles == sorted(handles, key=lambda h: int(h[1:]))
