@@ -1,0 +1,162 @@
+"""Bench A8 — vectorized bound kernels and VP-tree candidate generation.
+
+Times the candidate-filtering layer at database sizes where interpreter
+overhead dominates the scalar path:
+
+* **bound-stage throughput** — all four feature bounds (edit lb, |mcs|
+  ub, DistMcs lb, DistGu lb) for every graph against one query: the
+  per-graph scalar loop over ``repro.graph.features`` versus one batched
+  kernel pass over the packed :class:`~repro.index.SignatureMatrix`;
+* **candidate generation** — threshold-query candidate sets via the
+  VP-tree's metric range search versus the vectorized linear scan, with
+  the fraction of rows the tree actually touched.
+
+Results go to ``BENCH_bounds.json`` next to this file (archived by CI).
+The regression floor asserted here is the PR's acceptance criterion:
+**≥ 5× bound-stage speedup at 2 000 graphs**, and VP-tree range search
+must touch a strict subset of the rows while returning the exact
+linear-scan candidate set.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import molecule_like_graph
+from repro.graph.features import (
+    GraphFeatures,
+    dist_gu_lower_bound,
+    dist_mcs_lower_bound,
+    edit_distance_lower_bound,
+    mcs_upper_bound,
+)
+from repro.index import SignatureMatrix, VPTree, bound_matrix, signature_distances
+from repro.bench import render_table
+from repro.measures.base import resolve_measures
+
+SIZES = (2_000, 10_000)
+SPEEDUP_FLOOR = 5.0  # asserted at the smallest size; CI fails below it
+OUTPUT = Path(__file__).resolve().parent / "BENCH_bounds.json"
+
+
+@pytest.fixture(scope="module")
+def populations():
+    """Feature populations per size (graphs themselves are not needed)."""
+    rng = random.Random(42)
+    features = [
+        GraphFeatures.of(molecule_like_graph(rng.randint(4, 9), seed=rng))
+        for _ in range(max(SIZES))
+    ]
+    query = GraphFeatures.of(molecule_like_graph(6, seed=rng, name="q"))
+    return features, query
+
+
+def _scalar_pass(features, query):
+    return [
+        (
+            edit_distance_lower_bound(f, query),
+            mcs_upper_bound(f, query),
+            dist_mcs_lower_bound(f, query),
+            dist_gu_lower_bound(f, query),
+        )
+        for f in features
+    ]
+
+
+def _best_of(repeats, fn):
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+@pytest.mark.benchmark(group="a8-bound-kernels")
+def test_bound_kernel_and_index_throughput(populations):
+    all_features, query = populations
+    measures = resolve_measures(("edit", "mcs", "union"))
+    rows = []
+    payload = {"sizes": {}, "speedup_floor": SPEEDUP_FLOOR}
+
+    for size in SIZES:
+        features = all_features[:size]
+        matrix = SignatureMatrix()
+        for graph_id, f in enumerate(features):
+            matrix.add(graph_id, f)
+        packed = matrix.pack_query(query)
+
+        scalar_s, scalar_values = _best_of(3, lambda: _scalar_pass(features, query))
+        vector_s, batched = _best_of(
+            3, lambda: bound_matrix(matrix, packed, measures)
+        )
+        # The vectorized pass must be the same numbers, not just faster.
+        sample = random.Random(7).sample(range(size), 50)
+        for row in sample:
+            assert batched[row, 0] == scalar_values[row][0]
+            assert batched[row, 1] == scalar_values[row][2]
+            assert batched[row, 2] == scalar_values[row][3]
+        speedup = scalar_s / vector_s
+
+        # Candidate generation: VP-tree range search vs linear scan for a
+        # selective threshold query on the edit bound.
+        tree_build_s, tree = _best_of(1, lambda: VPTree(matrix))
+        radius = 2.0
+        linear_s, linear_hits = _best_of(
+            3,
+            lambda: np.flatnonzero(
+                signature_distances(
+                    matrix, np.arange(len(matrix), dtype=np.int64), packed
+                )
+                <= radius
+            ),
+        )
+        tree_s, tree_hits = _best_of(3, lambda: tree.range_rows(packed, radius))
+        assert tree_hits.tolist() == linear_hits.tolist()
+        scanned_fraction = tree.last_rows_scanned / size
+        assert tree.last_rows_scanned < size, "VP-tree degenerated to a full scan"
+
+        rows.append([
+            size,
+            round(scalar_s * 1e3, 2),
+            round(vector_s * 1e3, 3),
+            round(speedup, 1),
+            round(tree_build_s * 1e3, 1),
+            round(linear_s * 1e3, 3),
+            round(tree_s * 1e3, 3),
+            f"{scanned_fraction:.1%}",
+            len(tree_hits),
+        ])
+        payload["sizes"][str(size)] = {
+            "scalar_bound_seconds": scalar_s,
+            "vector_bound_seconds": vector_s,
+            "bound_speedup": speedup,
+            "bounds_per_second_scalar": size / scalar_s,
+            "bounds_per_second_vector": size / vector_s,
+            "vptree_build_seconds": tree_build_s,
+            "linear_range_seconds": linear_s,
+            "vptree_range_seconds": tree_s,
+            "vptree_rows_scanned": tree.last_rows_scanned,
+            "vptree_scanned_fraction": scanned_fraction,
+            "range_hits": len(tree_hits),
+        }
+
+    print()
+    print(render_table(
+        ["n", "scalar ms", "vector ms", "speedup", "build ms",
+         "linear ms", "vptree ms", "scanned", "hits"],
+        rows,
+        title="A8 — bound kernels: scalar vs vectorized + VP-tree range",
+    ))
+    OUTPUT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+    floor_speedup = payload["sizes"][str(SIZES[0])]["bound_speedup"]
+    assert floor_speedup >= SPEEDUP_FLOOR, (
+        f"vectorized bound stage only {floor_speedup:.1f}x over scalar at "
+        f"n={SIZES[0]}; the floor is {SPEEDUP_FLOOR}x"
+    )

@@ -18,4 +18,11 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # NumPy backs repro.index (the vectorized bound kernels, packed
+    # feature matrix and VP-tree) and the "vectorized" backend, so
+    # installed users always get the fast path. Source checkouts that
+    # cannot install it still import cleanly: the backend is simply not
+    # registered and the scalar bounds remain in use (tests for the
+    # vectorized path skip themselves).
+    install_requires=["numpy>=1.22"],
 )

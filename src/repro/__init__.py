@@ -37,6 +37,7 @@ Packages
 ``repro.skyline``   generic Pareto skyline algorithms
 ``repro.core``      GCS, similarity-dominance, GSS, diversity refinement
 ``repro.db``        database storage, feature index, pruning executor
+``repro.index``     vectorized feature store, bound kernels, VP-tree (NumPy)
 ``repro.datasets``  paper examples and synthetic workloads
 ``repro.testkit``   differential workload fuzzing against a trusted oracle
 ``repro.bench``     harness utilities for the reproduction benchmarks

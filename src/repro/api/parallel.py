@@ -4,12 +4,15 @@ The expensive part of every query kind is the per-graph exact evaluation
 (GED + MCS per pair); the selection step over the resulting vectors is
 negligible. This backend pairs the engine's database-order candidate
 source with a :class:`~repro.engine.evaluate.PooledEvaluator`, which
-ships chunks of ``(graph_id, graph)`` pairs to a shared
+fans chunks of work out to a shared
 :class:`concurrent.futures.ProcessPoolExecutor` and runs the selection
 serially — so the answer set is identical to ``memory`` by construction
-(and property-tested to be). With ``cache=``, cached pairs are served
-before the fan-out and new vectors written back after it, so batching and
-caching compose.
+(and property-tested to be). The database itself crosses the process
+boundary once per ``(database, version)`` through a pool-shared payload
+file; per-chunk tasks carry only graph ids, cutting the serialization
+tax of re-pickling ``LabeledGraph`` objects per chunk per query. With
+``cache=``, cached pairs are served before the fan-out and new vectors
+written back after it, so batching and caching compose.
 
 The pool-sharing machinery lives in :mod:`repro.engine.evaluate`;
 :func:`shutdown_pool` is re-exported here for backward compatibility.
@@ -66,6 +69,10 @@ class ParallelBackend(ExecutionBackend):
     def _chunks(self) -> list[list]:
         """How the current database would be split into pool tasks."""
         return self._evaluator.chunk(list(self.database))
+
+    def close(self) -> None:
+        """Drop the pool-shared database payload file (pool stays up)."""
+        self._evaluator.discard_payload()
 
     def build_plan(self, spec: GraphQuery) -> EvaluationPlan:
         return EvaluationPlan(

@@ -178,6 +178,7 @@ class ResultSet:
                 "candidates_considered": self.stats.candidates_considered,
                 "exact_evaluations": self.stats.exact_evaluations,
                 "pruned_by_index": self.stats.pruned_by_index,
+                "pruned_by_batch": self.stats.pruned_by_batch,
                 "served_from_cache": self.stats.served_from_cache,
             },
         }
@@ -202,6 +203,11 @@ class ResultSet:
                     **self.cache_info
                 )
             )
+        if self.spec.kind in ("topk", "threshold") and self.stats.pruned_by_batch:
+            lines.append(
+                f"batch pre-filter: {self.stats.pruned_by_batch} candidates "
+                "removed in one vectorized pass"
+            )
         if self.spec.kind in ("skyline", "skyband") and self.vectors:
             member = set(self.ids)
             for graph_id in sorted(self.evaluated_ids):
@@ -214,9 +220,14 @@ class ResultSet:
                 lines.append(f"  {name} ({values}) — {status}")
             pruned = self.stats.pruned_by_index
             if pruned:
+                batched = (
+                    f", {self.stats.pruned_by_batch} in one batched pass"
+                    if self.stats.pruned_by_batch
+                    else ""
+                )
                 lines.append(
                     f"  (+{pruned} candidates pruned by index lower bounds "
-                    "without exact evaluation)"
+                    f"without exact evaluation{batched})"
                 )
         if self.refinement is not None:
             names = ", ".join(g.name or "?" for g in self.refinement.subset)

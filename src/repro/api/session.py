@@ -34,7 +34,6 @@ from repro.api.spec import GraphQuery, Query
 from repro.api.result import QueryPlan, ResultSet
 from repro.api.backends import (
     ExecutionBackend,
-    IndexedBackend,
     create_backend,
 )
 # Importing the module registers the "parallel" backend.
@@ -124,9 +123,9 @@ class Session:
             names: tuple[str, ...] = (single.name,)
         else:
             names = measure_names(measures)
-        uses_index = (
-            isinstance(self._backend, IndexedBackend) and self._backend.use_index
-        )
+        # Duck-typed: any backend with a truthy ``use_index`` (``indexed``,
+        # ``vectorized``, custom registrations) counts as index-pruning.
+        uses_index = bool(getattr(self._backend, "use_index", False))
         workers = getattr(self._backend, "max_workers", 1)
         return QueryPlan(
             backend=self.backend_name,

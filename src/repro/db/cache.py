@@ -87,11 +87,17 @@ class PairCache:
         ``False`` when caching a non-symmetric custom measure.
     """
 
+    #: LRU bound on memoised canonical query hashes (see :meth:`query_hash`).
+    _HASH_MEMO_LIMIT = 256
+
     def __init__(self, max_entries: int = 200_000, symmetric: bool = True) -> None:
         self._store = _LruStore(max_entries)
         self.symmetric = symmetric
         self.hits = 0
         self.misses = 0
+        self._hash_memo: "OrderedDict[tuple[int, int], tuple[LabeledGraph, str]]" = (
+            OrderedDict()
+        )
 
     @property
     def max_entries(self) -> int:
@@ -99,17 +105,30 @@ class PairCache:
 
     # -- lookup protocol (shared with QueryCache) -----------------------
     def query_hash(self, query: LabeledGraph) -> str:
-        """Canonical hash of the query graph.
+        """Canonical hash of the query graph, memoised soundly.
 
-        Computed fresh on every call: graphs are mutable and unhashable,
-        so memoising by object identity (``id()``) is unsound — ids are
-        re-used after garbage collection and survive in-place mutation,
-        either of which would serve a stale hash for a different graph.
-        Callers that evaluate many candidates against one query (the
-        engine, live views) compute this once per run and thread it
-        through.
+        Canonicalization is the per-query fixed cost of every cached
+        run, so repeated queries with the same graph (refinement loops,
+        replayed specs, live views) should not pay it again. Plain
+        ``id()`` memoisation would be unsound — ids are re-used after
+        garbage collection and survive in-place mutation — so entries
+        are keyed by ``(id(graph), graph.mutation_count)`` *and* hold a
+        strong reference to the graph: the reference pins the id against
+        re-use while the entry lives (verified with ``is``), and any
+        in-place mutation bumps :attr:`~repro.graph.labeled_graph.
+        LabeledGraph.mutation_count`, changing the key. The memo is a
+        small LRU so pinned graphs cannot accumulate unboundedly.
         """
-        return canonical_hash(query)
+        key = (id(query), query.mutation_count)
+        entry = self._hash_memo.get(key)
+        if entry is not None and entry[0] is query:
+            self._hash_memo.move_to_end(key)
+            return entry[1]
+        value = canonical_hash(query)
+        self._hash_memo[key] = (query, value)
+        while len(self._hash_memo) > self._HASH_MEMO_LIMIT:
+            self._hash_memo.popitem(last=False)
+        return value
 
     def subject_key(self, entry) -> Hashable:
         """Cache key component of a stored database graph (its iso hash)."""
@@ -160,8 +179,9 @@ class PairCache:
         self._store.drop_where(lambda key: subject_key in key[0])
 
     def clear(self) -> None:
-        """Drop everything (statistics included)."""
+        """Drop everything (statistics and hash memo included)."""
         self._store.clear()
+        self._hash_memo.clear()
         self.hits = 0
         self.misses = 0
 

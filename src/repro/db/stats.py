@@ -19,6 +19,10 @@ class QueryStats:
     database_size: int = 0
     candidates_considered: int = 0
     pruned_by_index: int = 0
+    #: Of ``pruned_by_index``, how many were removed by a candidate
+    #: source's batched pre-filter (one vectorized pass) rather than by
+    #: a per-candidate cascade stage.
+    pruned_by_batch: int = 0
     exact_evaluations: int = 0
     served_from_cache: int = 0
     skyline_size: int = 0
@@ -40,9 +44,12 @@ class QueryStats:
         cached = (
             f" cached={self.served_from_cache}" if self.served_from_cache else ""
         )
+        batched = (
+            f" (batch={self.pruned_by_batch})" if self.pruned_by_batch else ""
+        )
         return (
             f"n={self.database_size} evaluated={self.exact_evaluations} "
-            f"pruned={self.pruned_by_index}{cached} "
+            f"pruned={self.pruned_by_index}{batched}{cached} "
             f"skyline={self.skyline_size} [{timings}]"
         )
 

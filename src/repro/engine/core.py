@@ -77,6 +77,10 @@ class RunContext:
     measure_specs: tuple[object, ...] | None
     cache: "PairCache | None"
     stats: QueryStats = field(default_factory=QueryStats)
+    #: Graph ids a candidate source soundly removed in one batched pass
+    #: *before* the cascade (e.g. the vectorized threshold pre-filter).
+    #: The engine counts them exactly like cascade prunes.
+    prefiltered: list[int] = field(default_factory=list)
     _query_features: GraphFeatures | None = None
 
     @property
@@ -134,7 +138,10 @@ def run_plan(
     evaluator.begin(ctx)
 
     exact: dict[int, tuple[float, ...]] = {}
-    pruned_ids: list[int] = []
+    pruned_ids: list[int] = list(ctx.prefiltered)
+    stats.candidates_considered += len(ctx.prefiltered)
+    stats.pruned_by_index += len(ctx.prefiltered)
+    stats.pruned_by_batch += len(ctx.prefiltered)
 
     def record(graph_id: int, values: tuple[float, ...]) -> None:
         exact[graph_id] = values

@@ -24,6 +24,10 @@ from __future__ import annotations
 import abc
 import atexit
 import os
+import pickle
+import tempfile
+import uuid
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
@@ -74,22 +78,96 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
+def _resolve_worker_measures(
+    measure_specs: tuple[object, ...] | None,
+) -> tuple[DistanceMeasure, ...]:
+    from repro.measures.base import default_measures
+
+    return (
+        default_measures()
+        if measure_specs is None
+        else resolve_measures(measure_specs)
+    )
+
+
 def _evaluate_chunk(
     pairs: list[tuple[int, LabeledGraph]],
     query: LabeledGraph,
     measure_specs: tuple[object, ...] | None,
 ) -> list[tuple[int, tuple[float, ...]]]:
-    """Worker: exact measure vectors for one chunk of database graphs."""
-    from repro.measures.base import default_measures
+    """Worker: exact measure vectors for one chunk of shipped graphs.
 
-    measures = (
-        default_measures()
-        if measure_specs is None
-        else resolve_measures(measure_specs)
-    )
+    Fallback path — used only when the shared database payload could not
+    be written (see :meth:`PooledEvaluator._ensure_payload`); chunks then
+    carry full pickled graphs, the pre-optimization wire format.
+    """
+    measures = _resolve_worker_measures(measure_specs)
     return [
         (graph_id, pair_values(graph, query, measures)) for graph_id, graph in pairs
     ]
+
+
+# Worker-side cache of database payloads, keyed by payload token. Each
+# worker process deserializes a given database *version* once, no matter
+# how many chunks of how many queries it then evaluates — per-chunk tasks
+# carry only graph ids. Bounded so long-lived pools serving many
+# databases do not accumulate dead payloads.
+_WORKER_PAYLOADS: "OrderedDict[str, dict[int, LabeledGraph]]" = OrderedDict()
+_WORKER_PAYLOAD_LIMIT = 4
+
+
+def _worker_payload(token: str, path: str) -> dict[int, LabeledGraph]:
+    graphs = _WORKER_PAYLOADS.get(token)
+    if graphs is None:
+        with open(path, "rb") as handle:
+            graphs = pickle.load(handle)
+        _WORKER_PAYLOADS[token] = graphs
+        while len(_WORKER_PAYLOADS) > _WORKER_PAYLOAD_LIMIT:
+            _WORKER_PAYLOADS.popitem(last=False)
+    else:
+        _WORKER_PAYLOADS.move_to_end(token)
+    return graphs
+
+
+def _evaluate_chunk_by_id(
+    token: str,
+    path: str,
+    graph_ids: list[int],
+    query: LabeledGraph,
+    measure_specs: tuple[object, ...] | None,
+) -> list[tuple[int, tuple[float, ...]]]:
+    """Worker: exact vectors for one chunk of graph *ids*.
+
+    The graphs come from the pool-shared payload file — the chunk task
+    itself serializes a handful of integers instead of re-pickling
+    ``LabeledGraph`` objects per chunk per query.
+    """
+    graphs = _worker_payload(token, path)
+    measures = _resolve_worker_measures(measure_specs)
+    return [
+        (graph_id, pair_values(graphs[graph_id], query, measures))
+        for graph_id in graph_ids
+    ]
+
+
+# Payload files written by this (parent) process, for atexit cleanup.
+_PAYLOAD_FILES: set[str] = set()
+
+
+def _remove_payload_file(path: str) -> None:
+    _PAYLOAD_FILES.discard(path)
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def _cleanup_payload_files() -> None:
+    for path in list(_PAYLOAD_FILES):
+        _remove_payload_file(path)
+
+
+atexit.register(_cleanup_payload_files)
 
 
 # ----------------------------------------------------------------------
@@ -128,6 +206,15 @@ class SerialEvaluator(Evaluator):
 class PooledEvaluator(Evaluator):
     """Accumulate survivors and solve them in chunks on the shared pool.
 
+    The database crosses the process boundary through a **pool-shared
+    payload file**, written once per ``(database, version)`` and cached
+    on the worker side by token — per-chunk tasks then carry graph *ids*
+    only, instead of re-pickling every ``LabeledGraph`` for every chunk
+    of every query. Mutating the database bumps its version and lazily
+    rolls the payload over; if the payload cannot be written at all
+    (read-only temp dir), chunks fall back to shipping the graphs
+    directly, the pre-optimization wire format.
+
     Parameters
     ----------
     max_workers:
@@ -145,6 +232,11 @@ class PooledEvaluator(Evaluator):
         self.max_workers = max(1, max_workers or os.cpu_count() or 1)
         self.chunk_size = chunk_size
         self._pending: list[int] = []
+        self._payload_database: object | None = None
+        self._payload_version: int | None = None
+        self._payload_token: str | None = None
+        self._payload_path: str | None = None
+        self._payload_broken = False
 
     def begin(self, ctx) -> None:
         self._pending = []
@@ -162,19 +254,83 @@ class PooledEvaluator(Evaluator):
             size = max(1, -(-len(pairs) // (self.max_workers * 4)))
         return [pairs[i : i + size] for i in range(0, len(pairs), size)]
 
+    # -- pool-shared database payload -----------------------------------
+    def _ensure_payload(self, ctx) -> tuple[str, str] | None:
+        """``(token, path)`` of the current database payload, or ``None``.
+
+        Re-written only when the database object or its version changed;
+        repeated queries against an unmutated database re-use the file
+        (and the worker-side deserialization it already paid for).
+        """
+        database = ctx.database
+        if (
+            self._payload_database is database
+            and self._payload_version == database.version
+        ):
+            return self._payload_token, self._payload_path
+        if self._payload_broken:
+            return None
+        graphs = {graph_id: graph for graph_id, graph in database}
+        path = None
+        try:
+            handle, path = tempfile.mkstemp(
+                prefix="repro-pool-db-", suffix=".pickle"
+            )
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(graphs, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        except OSError:
+            # Latch off for this evaluator (retrying a full-database dump
+            # per drain could be expensive); drop any half-written file.
+            self._payload_broken = True
+            if path is not None:
+                _remove_payload_file(path)
+            return None
+        self.discard_payload()
+        self._payload_database = database
+        self._payload_version = database.version
+        self._payload_token = uuid.uuid4().hex
+        self._payload_path = path
+        _PAYLOAD_FILES.add(path)
+        return self._payload_token, self._payload_path
+
+    def discard_payload(self) -> None:
+        """Drop the payload file (called on rollover and backend close)."""
+        if self._payload_path is not None:
+            _remove_payload_file(self._payload_path)
+        self._payload_database = None
+        self._payload_version = None
+        self._payload_token = None
+        self._payload_path = None
+
     def drain(self, ctx):
-        pairs = [
-            (graph_id, ctx.database.get(graph_id)) for graph_id in self._pending
-        ]
-        self._pending = []
-        chunks = self.chunk(pairs)
-        if not chunks:
+        pending, self._pending = self._pending, []
+        if not pending:
             return []
         pool = shared_pool(self.max_workers)
-        futures = [
-            pool.submit(_evaluate_chunk, chunk, ctx.spec.graph, ctx.measure_specs)
-            for chunk in chunks
-        ]
+        payload = self._ensure_payload(ctx)
+        if payload is not None:
+            token, path = payload
+            futures = [
+                pool.submit(
+                    _evaluate_chunk_by_id,
+                    token,
+                    path,
+                    chunk,
+                    ctx.spec.graph,
+                    ctx.measure_specs,
+                )
+                for chunk in self.chunk(pending)
+            ]
+        else:
+            pairs = [
+                (graph_id, ctx.database.get(graph_id)) for graph_id in pending
+            ]
+            futures = [
+                pool.submit(
+                    _evaluate_chunk, chunk, ctx.spec.graph, ctx.measure_specs
+                )
+                for chunk in self.chunk(pairs)
+            ]
         results: list[tuple[int, tuple[float, ...]]] = []
         for future in futures:
             results.extend(future.result())

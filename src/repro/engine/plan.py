@@ -208,7 +208,15 @@ def cached_pairs(ctx: "RunContext") -> Stage:
 # Candidate sources
 # ----------------------------------------------------------------------
 class CandidateSource(abc.ABC):
-    """Enumerates (and orders) the candidates of one run."""
+    """Enumerates (and orders) the candidates of one run.
+
+    A source may also *pre-filter*: candidates it can soundly prove
+    irrelevant in one batched pass (e.g. the vectorized threshold
+    pre-filter of :class:`repro.index.IndexedSource`) are appended to
+    ``ctx.prefiltered`` instead of being returned — the engine counts
+    them exactly like cascade prunes (``QueryStats.pruned_by_batch``)
+    and the per-candidate cascade runs only on the survivors.
+    """
 
     #: Whether :meth:`candidates` computes index bounds (timed as "bounds").
     computes_bounds: bool = False

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.graph.labeled_graph import LabeledGraph
 
@@ -39,13 +40,32 @@ class GraphFeatures:
             ),
         )
 
-    def vertex_label_counter(self) -> Counter:
-        """The vertex-label multiset as a :class:`collections.Counter`."""
+    # The Counter forms are materialized once per (frozen, immutable)
+    # instance — the scalar bounds below are called per database pair,
+    # and rebuilding a Counter for every pair dominated their cost.
+    # ``cached_property`` writes straight into ``__dict__``, which a
+    # frozen dataclass permits; equality/hash use the fields only.
+    @cached_property
+    def _vertex_counter(self) -> Counter:
         return Counter(dict(self.vertex_labels))
 
-    def edge_label_counter(self) -> Counter:
-        """The edge-label multiset as a :class:`collections.Counter`."""
+    @cached_property
+    def _edge_counter(self) -> Counter:
         return Counter(dict(self.edge_labels))
+
+    def vertex_label_counter(self) -> Counter:
+        """The vertex-label multiset as a :class:`collections.Counter`.
+
+        The same object on every call — treat it as read-only.
+        """
+        return self._vertex_counter
+
+    def edge_label_counter(self) -> Counter:
+        """The edge-label multiset as a :class:`collections.Counter`.
+
+        The same object on every call — treat it as read-only.
+        """
+        return self._edge_counter
 
 
 def _freeze(counter: Counter) -> tuple[tuple[str, int], ...]:

@@ -72,13 +72,32 @@ class LabeledGraph:
     'A'
     """
 
-    __slots__ = ("name", "_vertex_labels", "_adjacency", "_edge_count")
+    __slots__ = (
+        "name",
+        "_vertex_labels",
+        "_adjacency",
+        "_edge_count",
+        "_mutations",
+        "__weakref__",
+    )
 
     def __init__(self, name: str | None = None) -> None:
         self.name = name
         self._vertex_labels: dict[VertexId, Label] = {}
         self._adjacency: dict[VertexId, dict[VertexId, Label]] = {}
         self._edge_count = 0
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Counter bumped by every structural/label mutation.
+
+        Lets caches memoize derived values (e.g. the canonical hash) per
+        ``(object, mutation_count)`` soundly: in-place mutation changes
+        the key, so a stale value can never be served for the same
+        object — see :meth:`repro.db.cache.PairCache.query_hash`.
+        """
+        return self._mutations
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -133,6 +152,7 @@ class LabeledGraph:
             raise DuplicateVertexError(vertex)
         self._vertex_labels[vertex] = label
         self._adjacency[vertex] = {}
+        self._mutations += 1
 
     def remove_vertex(self, vertex: VertexId) -> None:
         """Remove ``vertex`` together with all its incident edges."""
@@ -144,12 +164,14 @@ class LabeledGraph:
         self._edge_count -= len(neighbors)
         del self._adjacency[vertex]
         del self._vertex_labels[vertex]
+        self._mutations += 1
 
     def relabel_vertex(self, vertex: VertexId, label: Label) -> None:
         """Replace the label of ``vertex``."""
         if vertex not in self._vertex_labels:
             raise VertexNotFoundError(vertex)
         self._vertex_labels[vertex] = label
+        self._mutations += 1
 
     def has_vertex(self, vertex: VertexId) -> bool:
         """Whether ``vertex`` is in the graph."""
@@ -193,6 +215,7 @@ class LabeledGraph:
         self._adjacency[u][v] = label
         self._adjacency[v][u] = label
         self._edge_count += 1
+        self._mutations += 1
 
     def remove_edge(self, u: VertexId, v: VertexId) -> None:
         """Remove the undirected edge ``{u, v}``."""
@@ -201,6 +224,7 @@ class LabeledGraph:
         del self._adjacency[u][v]
         del self._adjacency[v][u]
         self._edge_count -= 1
+        self._mutations += 1
 
     def relabel_edge(self, u: VertexId, v: VertexId, label: Label) -> None:
         """Replace the label of edge ``{u, v}``."""
@@ -208,6 +232,7 @@ class LabeledGraph:
             raise EdgeNotFoundError(u, v)
         self._adjacency[u][v] = label
         self._adjacency[v][u] = label
+        self._mutations += 1
 
     def has_edge(self, u: VertexId, v: VertexId) -> bool:
         """Whether the undirected edge ``{u, v}`` is in the graph."""

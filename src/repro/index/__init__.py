@@ -1,0 +1,50 @@
+"""repro.index — vectorized feature store, bound kernels and VP-tree.
+
+The array-speed candidate-filtering layer (requires NumPy):
+
+* :class:`~repro.index.matrix.SignatureMatrix` — every graph's
+  label-multiset/size signature packed into shared interned-vocabulary
+  ``int64`` matrices, maintained incrementally at row granularity;
+* :mod:`~repro.index.kernels` — batched lower/upper-bound kernels that
+  are bit-identical to the scalar bounds in :mod:`repro.graph.features`;
+* :class:`~repro.index.vptree.VPTree` — sublinear range / nearest-row
+  candidate generation over the signature edit-bound metric;
+* :class:`~repro.index.store.FeatureStore` — keeps all of the above in
+  sync with a :class:`~repro.db.database.GraphDatabase` via its
+  ``version`` dirty flag;
+* :class:`~repro.index.source.IndexedSource` /
+  :func:`~repro.index.source.batch_bound_pruning` — the engine plan
+  parts the ``vectorized`` backend is made of.
+"""
+
+from repro.index.kernels import (
+    BATCH_BOUND_KERNELS,
+    bound_matrix,
+    dist_gu_lower_bounds,
+    dist_mcs_lower_bounds,
+    edit_lower_bounds,
+    mcs_upper_bounds,
+    normalized_edit_lower_bounds,
+)
+from repro.index.matrix import QuerySignature, SignatureMatrix
+from repro.index.source import BatchParetoStage, IndexedSource, batch_bound_pruning
+from repro.index.store import FeatureStore
+from repro.index.vptree import VPTree, signature_distances
+
+__all__ = [
+    "BATCH_BOUND_KERNELS",
+    "BatchParetoStage",
+    "FeatureStore",
+    "IndexedSource",
+    "QuerySignature",
+    "SignatureMatrix",
+    "VPTree",
+    "batch_bound_pruning",
+    "bound_matrix",
+    "dist_gu_lower_bounds",
+    "dist_mcs_lower_bounds",
+    "edit_lower_bounds",
+    "mcs_upper_bounds",
+    "normalized_edit_lower_bounds",
+    "signature_distances",
+]

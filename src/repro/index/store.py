@@ -1,0 +1,92 @@
+"""Incrementally-maintained feature store bound to one ``GraphDatabase``.
+
+:class:`FeatureStore` keeps a :class:`~repro.index.matrix.SignatureMatrix`
+(and, lazily, a :class:`~repro.index.vptree.VPTree`) in sync with a
+database through the same ``GraphDatabase.version`` dirty flag the
+``indexed`` backend uses — but instead of rebuilding per-graph feature
+objects, :meth:`sync` diffs the live id set against the matrix rows and
+applies **row-level invalidation**: removed ids drop their row in O(row),
+new ids append one row, untouched graphs are never re-featurized. Graph
+ids are never reused and stored features are frozen at insert, so the id
+diff is exactly the set of stale rows.
+
+The VP-tree is rebuilt (lazily, on first use) after any sync that
+changed the matrix, because it holds row indices into it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.db.database import GraphDatabase
+from repro.graph.features import GraphFeatures
+from repro.index.kernels import bound_matrix
+from repro.index.matrix import QuerySignature, SignatureMatrix
+from repro.index.vptree import VPTree
+from repro.measures.base import DistanceMeasure
+
+
+class FeatureStore:
+    """Array-backed feature index that follows database mutation."""
+
+    def __init__(self, database: GraphDatabase) -> None:
+        self.database = database
+        self.matrix = SignatureMatrix()
+        self._version: int | None = None
+        self._vptree: VPTree | None = None
+        #: Maintenance counters (observability; asserted by tests).
+        self.rows_added = 0
+        self.rows_dropped = 0
+        self.syncs = 0
+
+    def sync(self) -> SignatureMatrix:
+        """Bring the matrix up to date with the database (row-level diff)."""
+        if self._version == self.database.version:
+            return self.matrix
+        live = set(self.database.ids())
+        known = set(self.matrix.row_of)
+        for graph_id in known - live:
+            self.matrix.discard(graph_id)
+            self.rows_dropped += 1
+        for graph_id in sorted(live - known):
+            self.matrix.add(graph_id, self.database.entry(graph_id).features)
+            self.rows_added += 1
+        self._version = self.database.version
+        self._vptree = None
+        self.syncs += 1
+        return self.matrix
+
+    def vptree(self) -> VPTree:
+        """The VP-tree over the current matrix (built lazily per version)."""
+        self.sync()
+        if self._vptree is None:
+            self._vptree = VPTree(self.matrix)
+        return self._vptree
+
+    # ------------------------------------------------------------------
+    # Batched bound evaluation
+    # ------------------------------------------------------------------
+    def pack_query(self, query_features: GraphFeatures) -> QuerySignature:
+        return self.sync().pack_query(query_features)
+
+    def bounds(
+        self,
+        query_features: GraphFeatures,
+        measures: Sequence[DistanceMeasure],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, B)``: ``B[i, j]`` bounds ``measures[j]`` on graph ``ids[i]``.
+
+        One batched kernel call per measure — the whole database's
+        optimistic vectors without a per-graph Python loop.
+        """
+        matrix = self.sync()
+        query = matrix.pack_query(query_features)
+        return matrix.ids, bound_matrix(matrix, query, measures)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FeatureStore over {self.database.name!r}: {len(self.matrix)} rows, "
+            f"+{self.rows_added}/-{self.rows_dropped} across {self.syncs} syncs>"
+        )

@@ -247,18 +247,22 @@ class WorkloadRunner:
 
     # -- sessions --------------------------------------------------------
     def _backend(self, name: str, cached: bool) -> ExecutionBackend:
-        if name not in ("memory", "indexed", "parallel"):
+        if name not in ("memory", "indexed", "parallel", "vectorized"):
             # Reject rather than fall back: a typo'd backend in a
             # hand-edited workload would silently run memory semantics
             # and trivially "pass" against the oracle.
             raise QueryError(
                 f"unknown workload backend {name!r}; "
-                "available: memory, indexed, parallel"
+                "available: memory, indexed, parallel, vectorized"
             )
         cache = self.cache if cached else None
         if name == "indexed":
             cls = FAULTS[self.fault] if self.fault else IndexedBackend
             return cls(self.database, cache=cache)
+        if name == "vectorized":
+            from repro.api.backends import VectorizedBackend
+
+            return VectorizedBackend(self.database, cache=cache)
         if name == "parallel":
             return ParallelBackend(
                 self.database, max_workers=self.max_workers, cache=cache

@@ -33,8 +33,22 @@ from repro.graph.generators import mutate
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.serialization import graph_from_dict, graph_to_dict
 
-#: Backends every generated workload exercises.
-WORKLOAD_BACKENDS: tuple[str, ...] = ("memory", "indexed", "parallel")
+from repro.api.backends import _numpy_available
+
+#: Backends every generated workload exercises (``vectorized`` joins the
+#: rotation whenever NumPy is importable — the same gate that registers
+#: the backend).
+WORKLOAD_BACKENDS: tuple[str, ...] = (
+    ("memory", "indexed", "parallel", "vectorized")
+    if _numpy_available()
+    else ("memory", "indexed", "parallel")
+)
+
+#: Backends whose cascade prunes by index bounds. Tolerant dominance is
+#: not transitive, so pruning-then-selecting can legitimately differ
+#: from exhaustive selection under tolerance > 0 — generated specs keep
+#: tolerance at 0 for these.
+PRUNING_BACKENDS: tuple[str, ...] = ("indexed", "vectorized")
 
 #: GCS measure subsets queries cycle through (``None`` = paper default).
 MEASURE_POOLS: tuple[tuple[str, ...] | None, ...] = (
@@ -318,7 +332,7 @@ def _query_spec(
     measures = rng.choice(MEASURE_POOLS)
     algorithm = rng.choice(("bnl", "sfs", "dnc", "naive"))
     tolerance = 0.0
-    if backend != "indexed" and rng.random() < 0.15:
+    if backend not in PRUNING_BACKENDS and rng.random() < 0.15:
         tolerance = 0.25
         algorithm = "naive"
     limit = rng.randint(1, 4) if rng.random() < 0.2 else None

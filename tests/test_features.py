@@ -32,6 +32,21 @@ def test_features_are_hashable_and_comparable():
     assert hash(f1) == hash(f2)
 
 
+def test_counters_are_cached_per_instance():
+    """Micro-regression: the Counter forms are built once, not per call.
+
+    The scalar bounds call these per database pair; rebuilding a Counter
+    each time dominated their cost (the satellite fix this test pins).
+    """
+    f = GraphFeatures.of(path_graph(["A", "A", "B"]))
+    assert f.vertex_label_counter() is f.vertex_label_counter()
+    assert f.edge_label_counter() is f.edge_label_counter()
+    # Caching must not leak into equality or hashing (fields only).
+    g = GraphFeatures.of(path_graph(["A", "A", "B"]))
+    g.vertex_label_counter()
+    assert f == g and hash(f) == hash(g)
+
+
 def test_edit_lower_bound_admissible():
     for seed in range(15):
         g1 = make_random_graph(seed, max_vertices=5)

@@ -1,0 +1,227 @@
+"""Vectorized bound kernels must equal the scalar bounds *bit for bit*.
+
+The acceptance contract of the vectorized index: enabling the batched
+path changes nothing but speed. Every kernel output is compared to its
+scalar ``features.py`` counterpart with exact ``==`` (no tolerance), on
+hypothesis-generated graph populations and queries — including graphs
+with disjoint label vocabularies, empty graphs, and a matrix that
+reached its state through incremental adds/removes rather than a bulk
+build.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="repro.index requires NumPy")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db.index import _normalized_edit_bound
+from repro.graph import LabeledGraph
+from repro.graph.features import (
+    GraphFeatures,
+    dist_gu_lower_bound,
+    dist_mcs_lower_bound,
+    edit_distance_lower_bound,
+    mcs_upper_bound,
+)
+from repro.index import (
+    FeatureStore,
+    SignatureMatrix,
+    VPTree,
+    bound_matrix,
+    dist_gu_lower_bounds,
+    dist_mcs_lower_bounds,
+    edit_lower_bounds,
+    mcs_upper_bounds,
+    normalized_edit_lower_bounds,
+    signature_distances,
+)
+from repro.db import GraphDatabase
+from repro.measures.base import resolve_measures
+
+from tests.conftest import make_random_graph, small_labeled_graphs
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# Two disjoint label alphabets, so vocabularies are genuinely partial.
+pop_graphs = st.lists(
+    st.one_of(
+        small_labeled_graphs(max_vertices=5),
+        small_labeled_graphs(
+            max_vertices=4, vertex_labels=("D", "E"), edge_labels=("z",)
+        ),
+    ),
+    min_size=0,
+    max_size=8,
+)
+query_graphs = st.one_of(
+    small_labeled_graphs(max_vertices=5),
+    small_labeled_graphs(max_vertices=4, vertex_labels=("D",), edge_labels=("z",)),
+)
+
+
+def _matrix_of(graphs) -> tuple[SignatureMatrix, list[GraphFeatures]]:
+    matrix = SignatureMatrix()
+    features = [GraphFeatures.of(g) for g in graphs]
+    for graph_id, f in enumerate(features):
+        matrix.add(graph_id, f)
+    return matrix, features
+
+
+@relaxed
+@given(graphs=pop_graphs, query=query_graphs)
+def test_kernels_bit_identical_to_scalar_bounds(graphs, query):
+    matrix, features = _matrix_of(graphs)
+    query_features = GraphFeatures.of(query)
+    packed = matrix.pack_query(query_features)
+
+    edit = edit_lower_bounds(matrix, packed)
+    norm = normalized_edit_lower_bounds(matrix, packed)
+    mcs_ub = mcs_upper_bounds(matrix, packed)
+    d_mcs = dist_mcs_lower_bounds(matrix, packed)
+    d_gu = dist_gu_lower_bounds(matrix, packed)
+
+    for row, graph_id in enumerate(matrix.ids.tolist()):
+        f = features[graph_id]
+        assert edit[row] == edit_distance_lower_bound(f, query_features)
+        assert norm[row] == _normalized_edit_bound(f, query_features)
+        assert mcs_ub[row] == mcs_upper_bound(f, query_features)
+        assert d_mcs[row] == dist_mcs_lower_bound(f, query_features)
+        assert d_gu[row] == dist_gu_lower_bound(f, query_features)
+
+
+@relaxed
+@given(graphs=pop_graphs, query=query_graphs)
+def test_bound_matrix_matches_scalar_optimistic_vectors(graphs, query):
+    """The full (n, d) matrix equals FeatureIndex.optimistic_vector rows."""
+    from repro.db.index import FeatureIndex
+
+    matrix, features = _matrix_of(graphs)
+    query_features = GraphFeatures.of(query)
+    measures = resolve_measures(("edit", "edit-normalized", "mcs", "union"))
+    packed = matrix.pack_query(query_features)
+    batched = bound_matrix(matrix, packed, measures)
+
+    index = FeatureIndex()
+    for graph_id, f in enumerate(features):
+        index.add(graph_id, f)
+    for row, graph_id in enumerate(matrix.ids.tolist()):
+        scalar = index.optimistic_vector(graph_id, query_features, measures)
+        assert tuple(batched[row].tolist()) == scalar
+
+
+def test_unknown_measure_gets_zero_column():
+    matrix, _ = _matrix_of([make_random_graph(3), make_random_graph(4)])
+    query_features = GraphFeatures.of(make_random_graph(5))
+    measures = resolve_measures(("edit", "jaccard-edges"))
+    batched = bound_matrix(matrix, matrix.pack_query(query_features), measures)
+    assert batched.shape == (2, 2)
+    assert np.all(batched[:, 1] == 0.0)
+
+
+def test_empty_matrix_and_empty_graphs():
+    matrix = SignatureMatrix()
+    empty_features = GraphFeatures.of(LabeledGraph())
+    measures = resolve_measures(("edit", "mcs", "union"))
+    packed = matrix.pack_query(empty_features)
+    assert bound_matrix(matrix, packed, measures).shape == (0, 3)
+
+    matrix.add(0, empty_features)
+    packed = matrix.pack_query(empty_features)
+    assert tuple(bound_matrix(matrix, packed, measures)[0].tolist()) == (
+        0.0,
+        0.0,
+        0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance: the matrix state after arbitrary add/remove
+# interleavings equals a bulk rebuild (row-level invalidation is exact).
+# ----------------------------------------------------------------------
+@relaxed
+@given(
+    graphs=st.lists(small_labeled_graphs(max_vertices=4), min_size=1, max_size=10),
+    removals=st.lists(st.integers(min_value=0, max_value=9), max_size=6),
+    query=query_graphs,
+)
+def test_incremental_maintenance_equals_rebuild(graphs, removals, query):
+    incremental = SignatureMatrix()
+    live: dict[int, GraphFeatures] = {}
+    for graph_id, graph in enumerate(graphs):
+        features = GraphFeatures.of(graph)
+        incremental.add(graph_id, features)
+        live[graph_id] = features
+    for victim in removals:
+        incremental.discard(victim)  # no-op when already gone
+        live.pop(victim, None)
+
+    rebuilt = SignatureMatrix()
+    for graph_id, features in live.items():
+        rebuilt.add(graph_id, features)
+
+    assert set(incremental.ids.tolist()) == set(rebuilt.ids.tolist())
+    query_features = GraphFeatures.of(query)
+    measures = resolve_measures(("edit", "mcs", "union"))
+    bounds_a = bound_matrix(incremental, incremental.pack_query(query_features), measures)
+    bounds_b = bound_matrix(rebuilt, rebuilt.pack_query(query_features), measures)
+    by_id_a = dict(zip(incremental.ids.tolist(), map(tuple, bounds_a.tolist())))
+    by_id_b = dict(zip(rebuilt.ids.tolist(), map(tuple, bounds_b.tolist())))
+    assert by_id_a == by_id_b
+
+
+def test_feature_store_row_level_invalidation():
+    database = GraphDatabase.from_graphs(
+        [make_random_graph(seed) for seed in range(6)]
+    )
+    store = FeatureStore(database)
+    store.sync()
+    assert store.rows_added == 6 and store.rows_dropped == 0
+
+    # An unmutated database costs one version comparison, no row work.
+    store.sync()
+    assert store.rows_added == 6 and store.syncs == 1
+
+    removed = database.ids()[2]
+    database.remove(removed)
+    inserted = database.insert(make_random_graph(99))
+    store.sync()
+    # Only the touched rows moved — the other five were never refreshed.
+    assert store.rows_added == 7 and store.rows_dropped == 1
+    assert removed not in store.matrix and inserted in store.matrix
+
+
+def test_vocabulary_growth_backfills_zero():
+    matrix = SignatureMatrix()
+    matrix.add(0, GraphFeatures.of(make_random_graph(1, labels=("A", "B"))))
+    # A later graph introduces labels the first row has never seen.
+    newcomer = make_random_graph(2, labels=("X", "Y"), edge_labels=("q",))
+    matrix.add(1, GraphFeatures.of(newcomer))
+    query_features = GraphFeatures.of(newcomer)
+    packed = matrix.pack_query(query_features)
+    edit = edit_lower_bounds(matrix, packed)
+    f0 = GraphFeatures.of(make_random_graph(1, labels=("A", "B")))
+    assert edit[matrix.row_of[0]] == edit_distance_lower_bound(f0, query_features)
+    assert edit[matrix.row_of[1]] == 0.0
+
+
+def test_signature_distances_is_a_metric_on_samples():
+    """Spot-check the triangle inequality the VP-tree relies on."""
+    graphs = [make_random_graph(seed, max_vertices=6) for seed in range(12)]
+    matrix, features = _matrix_of(graphs)
+    sigs = [matrix.pack_query(f) for f in features]
+    n = len(graphs)
+    d = np.zeros((n, n))
+    for i in range(n):
+        d[i] = signature_distances(matrix, np.arange(n, dtype=np.int64), sigs[i])
+    for i in range(n):
+        assert d[i, i] == 0.0
+        for j in range(n):
+            assert d[i, j] == d[j, i]
+            for k in range(n):
+                assert d[i, k] <= d[i, j] + d[j, k] + 1e-9

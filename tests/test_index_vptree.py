@@ -1,0 +1,112 @@
+"""VP-tree searches must equal the brute-force scan, and scan fewer rows.
+
+Range search and k-nearest-rows over the signature edit-bound metric are
+compared against a full vectorized scan on hypothesis-generated
+populations; a larger deterministic population checks that the triangle-
+inequality pruning actually skips rows (the sublinearity the bench then
+measures at scale).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="repro.index requires NumPy")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.features import GraphFeatures
+from repro.index import SignatureMatrix, VPTree, signature_distances
+
+from tests.conftest import make_random_graph, small_labeled_graphs
+
+relaxed = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+populations = st.lists(small_labeled_graphs(max_vertices=5), min_size=0, max_size=20)
+query_graphs = small_labeled_graphs(max_vertices=5)
+
+
+def _setup(graphs, query):
+    matrix = SignatureMatrix()
+    for graph_id, graph in enumerate(graphs):
+        matrix.add(graph_id, GraphFeatures.of(graph))
+    packed = matrix.pack_query(GraphFeatures.of(query))
+    rows = np.arange(len(matrix), dtype=np.int64)
+    exact = signature_distances(matrix, rows, packed)
+    return matrix, packed, exact
+
+
+@relaxed
+@given(
+    graphs=populations,
+    query=query_graphs,
+    radius=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+)
+def test_range_search_equals_brute_force(graphs, query, radius):
+    matrix, packed, exact = _setup(graphs, query)
+    tree = VPTree(matrix, leaf_size=3)
+    found = tree.range_rows(packed, radius).tolist()
+    expected = np.flatnonzero(exact <= radius).tolist()
+    assert found == expected
+
+
+@relaxed
+@given(
+    graphs=populations,
+    query=query_graphs,
+    k=st.integers(min_value=1, max_value=6),
+)
+def test_nearest_rows_equals_brute_force(graphs, query, k):
+    matrix, packed, exact = _setup(graphs, query)
+    tree = VPTree(matrix, leaf_size=3)
+    rows, distances = tree.nearest_rows(packed, k)
+    ids = matrix.ids
+    expected = sorted(
+        range(len(matrix)), key=lambda row: (exact[row], int(ids[row]))
+    )[:k]
+    assert rows.tolist() == expected
+    assert distances.tolist() == [exact[row] for row in expected]
+
+
+def test_pruning_skips_rows_on_a_spread_population():
+    graphs = [
+        make_random_graph(seed, max_vertices=9, labels=("A", "B", "C", "D"))
+        for seed in range(300)
+    ]
+    matrix = SignatureMatrix()
+    for graph_id, graph in enumerate(graphs):
+        matrix.add(graph_id, GraphFeatures.of(graph))
+    tree = VPTree(matrix)
+    packed = matrix.pack_query(GraphFeatures.of(make_random_graph(999)))
+
+    hits = tree.range_rows(packed, 1.0)
+    assert tree.last_rows_scanned < len(matrix), (
+        f"range search scanned all {tree.last_rows_scanned} rows"
+    )
+    rows = np.arange(len(matrix), dtype=np.int64)
+    exact = signature_distances(matrix, rows, packed)
+    assert hits.tolist() == np.flatnonzero(exact <= 1.0).tolist()
+
+    nearest, _ = tree.nearest_rows(packed, 5)
+    assert tree.last_rows_scanned < len(matrix)
+    expected = sorted(range(len(matrix)), key=lambda r: (exact[r], r))[:5]
+    assert nearest.tolist() == expected
+
+
+def test_empty_and_tiny_trees():
+    matrix = SignatureMatrix()
+    tree = VPTree(matrix)
+    packed = matrix.pack_query(GraphFeatures.of(make_random_graph(1)))
+    assert tree.range_rows(packed, 10.0).tolist() == []
+    rows, distances = tree.nearest_rows(packed, 3)
+    assert rows.tolist() == [] and distances.tolist() == []
+
+    matrix.add(7, GraphFeatures.of(make_random_graph(2)))
+    tree = VPTree(matrix)
+    packed = matrix.pack_query(GraphFeatures.of(make_random_graph(2)))
+    assert tree.range_rows(packed, 0.0).tolist() == [0]
+    rows, _ = tree.nearest_rows(packed, 2)
+    assert rows.tolist() == [0]

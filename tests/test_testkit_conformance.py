@@ -46,10 +46,13 @@ def test_pinned_corpus_replays_divergence_free(entry):
     report = run_workload(workload)
     assert report.ok, report.divergence.describe()
     assert report.steps_run == entry["steps"]
-    # Coverage: every (kind, backend) combination actually executed, and
-    # the cross-query pair cache saw real traffic (cache-on runs served
+    # Coverage: every (kind, backend) combination actually executed —
+    # including the NumPy ``vectorized`` backend when present — and the
+    # cross-query pair cache saw real traffic (cache-on runs served
     # identical answers — the runner compared them — with nonzero hits).
-    assert len(report.combos) == 12, report.combos
+    from repro.testkit.workload import WORKLOAD_BACKENDS
+
+    assert len(report.combos) == 4 * len(WORKLOAD_BACKENDS), report.combos
     assert report.cache_hits > 0
     assert report.view_checks > 0
     assert report.saveloads > 0
