@@ -1,0 +1,132 @@
+"""Bench A9 — scatter-gather: sharded execution versus the monolith.
+
+Runs one synthetic workload through the scatter-gather backend at 1, 2
+and 4 shards (serial and parallel evaluation) against the monolithic
+``memory`` and ``parallel`` baselines, for the skyline and top-k kinds.
+Every variant must return the identical answer set; the acceptance gate
+is the ROADMAP's scaling claim — **4-shard parallel top-k must not be
+slower than the monolithic parallel backend** (cross-shard rank-bound
+sharing means the sharded run *evaluates strictly fewer pairs*: the
+monolithic parallel plan has no pruning cascade at all). Wall-clock is
+best-of-``REPEATS`` to keep the gate robust against scheduler noise.
+
+Results are printed as a table and written to ``BENCH_sharded.json``
+next to this file, so CI can archive the numbers.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import GraphDatabase, Query
+from repro.bench import render_table
+from repro.datasets import make_workload
+from repro.shard import ShardedGraphDatabase
+
+N_GRAPHS = 96
+K = 5
+REPEATS = 3
+WORKERS = 2
+OUTPUT = Path(__file__).resolve().parent / "BENCH_sharded.json"
+
+
+@pytest.fixture(scope="module")
+def workload_db():
+    workload = make_workload(n_graphs=N_GRAPHS, query_size=6, seed=41)
+    return GraphDatabase.from_graphs(workload.database), workload.queries[0]
+
+
+def _best_of(database, spec, backend, **options):
+    best = None
+    for _ in range(REPEATS):
+        with repro.connect(database, backend=backend, **options) as session:
+            start = time.perf_counter()
+            result = session.execute(spec)
+            elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[1]:
+            best = (result, elapsed)
+    return best
+
+
+@pytest.mark.benchmark(group="a9-sharded-scatter")
+def test_sharded_scatter_gather_scaling(workload_db):
+    database, query = workload_db
+    specs = {
+        "skyline": Query(query).measures("edit", "mcs").skyline(),
+        "topk": Query(query).topk(K, "edit"),
+    }
+    sharded = {
+        shards: ShardedGraphDatabase.from_database(database, shards=shards)
+        for shards in (1, 2, 4)
+    }
+
+    rows = []
+    payload = {
+        "workload": {"n_graphs": N_GRAPHS, "seed": 41, "k": K},
+        "repeats": REPEATS,
+        "variants": {},
+    }
+    runs = {}
+    for kind, spec in specs.items():
+        runs[(kind, "memory")] = _best_of(database, spec, "memory")
+        runs[(kind, "parallel")] = _best_of(
+            database, spec, "parallel", max_workers=WORKERS
+        )
+        for shards, store in sharded.items():
+            runs[(kind, f"sharded-{shards}")] = _best_of(store, spec, "sharded")
+            runs[(kind, f"sharded-{shards}-parallel")] = _best_of(
+                store, spec, "sharded", parallel=True, max_workers=WORKERS
+            )
+
+    for (kind, variant), (result, elapsed) in runs.items():
+        stats = result.stats
+        rows.append([
+            kind,
+            variant,
+            round(elapsed * 1000, 1),
+            stats.exact_evaluations,
+            stats.pruned_by_index,
+            len(result.ids),
+        ])
+        payload["variants"][f"{kind}/{variant}"] = {
+            "seconds": elapsed,
+            "exact_evaluations": stats.exact_evaluations,
+            "pruned_by_index": stats.pruned_by_index,
+            "answer_size": len(result.ids),
+        }
+    print()
+    print(render_table(
+        ["kind", "variant", "ms", "exact evals", "pruned", "answer"],
+        rows,
+        title=f"A9 — scatter-gather scaling (n={N_GRAPHS}, best of {REPEATS})",
+    ))
+    OUTPUT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+    # Identical answers everywhere.
+    for kind in specs:
+        reference = runs[(kind, "memory")][0].ids
+        for variant in (
+            "parallel",
+            "sharded-1", "sharded-2", "sharded-4",
+            "sharded-1-parallel", "sharded-2-parallel", "sharded-4-parallel",
+        ):
+            assert runs[(kind, variant)][0].ids == reference, (kind, variant)
+
+    # Cross-shard pruning does real work: the sharded top-k evaluates
+    # strictly fewer pairs than the exhaustive monolithic parallel plan.
+    mono_evals = runs[("topk", "parallel")][0].stats.exact_evaluations
+    shard_evals = runs[("topk", "sharded-4-parallel")][0].stats.exact_evaluations
+    assert shard_evals < mono_evals, (shard_evals, mono_evals)
+
+    # The acceptance gate: 4-shard parallel top-k is not slower than the
+    # monolithic parallel backend.
+    mono_time = runs[("topk", "parallel")][1]
+    shard_time = runs[("topk", "sharded-4-parallel")][1]
+    assert shard_time <= mono_time, (
+        f"4-shard parallel topk {shard_time * 1000:.1f}ms slower than "
+        f"monolithic parallel {mono_time * 1000:.1f}ms"
+    )

@@ -16,6 +16,7 @@ import pytest
 
 from repro.bench import render_table
 from repro.testkit import generate_workload, run_workload
+from repro.testkit.workload import WORKLOAD_BACKENDS
 
 SEED = 2026
 N_STEPS = 200
@@ -63,7 +64,7 @@ def test_testkit_replay_throughput():
     }, indent=2), encoding="utf-8")
     print(f"wrote {OUTPUT}")
 
-    assert len(report.combos) == 12, report.combos
+    assert len(report.combos) == 4 * len(WORKLOAD_BACKENDS), report.combos
     assert steps_per_sec >= MIN_STEPS_PER_SEC, (
         f"harness too slow: {steps_per_sec:.1f} steps/s "
         f"(floor {MIN_STEPS_PER_SEC})"

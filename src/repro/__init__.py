@@ -37,6 +37,7 @@ Packages
 ``repro.skyline``   generic Pareto skyline algorithms
 ``repro.core``      GCS, similarity-dominance, GSS, diversity refinement
 ``repro.db``        database storage, feature index, pruning executor
+``repro.shard``     sharded store, placement policies, scatter-gather backend
 ``repro.index``     vectorized feature store, bound kernels, VP-tree (NumPy)
 ``repro.datasets``  paper examples and synthetic workloads
 ``repro.testkit``   differential workload fuzzing against a trusted oracle
@@ -85,6 +86,7 @@ from repro.core import (
     top_k_by_measure,
 )
 from repro.db import GraphDatabase, PairCache, SkylineExecutor
+from repro.shard import ShardedGraphDatabase
 from repro.api import (
     ExecutionBackend,
     GraphQuery,
@@ -145,6 +147,8 @@ __all__ = [
     "GraphDatabase",
     "PairCache",
     "SkylineExecutor",
+    # shard
+    "ShardedGraphDatabase",
     # api
     "GraphQuery",
     "Query",

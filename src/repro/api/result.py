@@ -36,15 +36,18 @@ class QueryPlan:
     workers: int = 1
     #: Cascade stage labels of the engine plan (empty = straight to exact).
     stages: tuple[str, ...] = ()
+    #: Shard count of a scatter-gather backend (1 = monolithic).
+    shards: int = 1
 
     def describe(self) -> str:
         """One-line human-readable plan."""
         pruning = "index lower-bound pruning" if self.uses_index else "full scan"
         fan_out = f", {self.workers} workers" if self.workers > 1 else ""
+        scatter = f", {self.shards} shards" if self.shards > 1 else ""
         cascade = f"; cascade: {' → '.join(self.stages)}" if self.stages else ""
         return (
             f"{self.kind} over {self.database_size} graphs via "
-            f"{self.backend!r} ({pruning}{fan_out}; "
+            f"{self.backend!r} ({pruning}{fan_out}{scatter}; "
             f"measures: {', '.join(self.measures)}{cascade})"
         )
 
@@ -77,8 +80,9 @@ class ResultSet:
     cache_info:
         Pair-cache counters for *this* query (``hits``/``misses`` deltas
         of the backend's shared cache, plus ``served`` — candidates whose
-        exact vector the cache replaced); ``None`` when the backend runs
-        uncached.
+        exact vector the cache replaced — and the query-hash memo's
+        ``pinned``/``pin_limit`` occupancy); ``None`` when the backend
+        runs uncached.
     """
 
     spec: GraphQuery
@@ -182,6 +186,10 @@ class ResultSet:
                 "served_from_cache": self.stats.served_from_cache,
             },
         }
+        if self.stats.per_shard is not None:
+            payload["stats"]["per_shard"] = [
+                dict(row) for row in self.stats.per_shard
+            ]
         if self.cache_info is not None:
             payload["cache"] = dict(self.cache_info)
         if self.refinement is not None:
@@ -197,11 +205,22 @@ class ResultSet:
     def explain(self) -> str:
         """Human-readable account of the plan, the work, and the answer."""
         lines = [self.plan.describe(), self.stats.summary()]
+        if self.stats.per_shard is not None:
+            for row in self.stats.per_shard:
+                lines.append(
+                    "  shard {shard}: size={size} candidates={candidates} "
+                    "pruned={pruned} evaluated={evaluated} "
+                    "served={served}".format(**row)
+                )
         if self.cache_info is not None:
+            pins = ""
+            if "pinned" in self.cache_info:
+                pins = " pinned={pinned}/{pin_limit}".format(**self.cache_info)
             lines.append(
                 "pair cache: hits={hits} misses={misses} served={served}".format(
                     **self.cache_info
                 )
+                + pins
             )
         if self.spec.kind in ("topk", "threshold") and self.stats.pruned_by_batch:
             lines.append(

@@ -36,8 +36,10 @@ from repro.api.backends import (
     ExecutionBackend,
     create_backend,
 )
-# Importing the module registers the "parallel" backend.
+# Importing these modules registers the "parallel" and "sharded" backends.
 from repro.api import parallel as _parallel  # noqa: F401
+from repro.shard import backend as _sharded  # noqa: F401
+from repro.shard.store import ShardedGraphDatabase
 
 
 class Session:
@@ -53,9 +55,19 @@ class Session:
     measures:
         Session-wide default GCS dimensions, used whenever a spec leaves
         ``measures`` unset (``None`` keeps the paper's default).
+    shards:
+        Partition the database across this many shards (see
+        :class:`~repro.shard.store.ShardedGraphDatabase`). A monolithic
+        ``database`` is re-partitioned (ids and metadata preserved, the
+        source object untouched); an already-sharded one is re-sharded
+        only when the count differs. ``backend="sharded"`` with no
+        ``shards`` defaults to 2.
+    placement:
+        Shard placement policy name (``"hash"``/``"size-balanced"``) or
+        instance; only consulted when a (re-)partition happens.
     backend_options:
         Forwarded to the backend constructor (e.g. ``use_index=False``,
-        ``cache=...``, ``max_workers=4``).
+        ``cache=...``, ``max_workers=4``, ``parallel=True``).
     """
 
     def __init__(
@@ -63,8 +75,28 @@ class Session:
         database: GraphDatabase,
         backend: "str | ExecutionBackend" = "memory",
         measures: tuple[object, ...] | None = None,
+        shards: int | None = None,
+        placement: object = "hash",
         **backend_options: object,
     ) -> None:
+        if shards is not None and isinstance(backend, ExecutionBackend):
+            # Re-partitioning would desynchronize session.database from
+            # the database the ready-made backend is bound to.
+            raise QueryError(
+                "shards= cannot be combined with a backend instance; "
+                "bind the backend to a ShardedGraphDatabase instead"
+            )
+        if shards is None and backend == "sharded" and not isinstance(
+            database, ShardedGraphDatabase
+        ):
+            shards = 2
+        if shards is not None and (
+            not isinstance(database, ShardedGraphDatabase)
+            or database.shard_count != shards
+        ):
+            database = ShardedGraphDatabase.from_database(
+                database, shards=shards, placement=placement
+            )
         self.database = database
         self.default_measures = tuple(measures) if measures is not None else None
         if isinstance(backend, ExecutionBackend):
@@ -135,6 +167,7 @@ class Session:
             uses_index=uses_index,
             workers=workers,
             stages=self._backend.build_plan(spec).stage_labels,
+            shards=getattr(self._backend, "shard_count", 1),
         )
 
     def execute(self, query: "GraphQuery | Query") -> ResultSet:
@@ -152,6 +185,8 @@ class Session:
                 "hits": cache.hits - counters_before[0],
                 "misses": cache.misses - counters_before[1],
                 "served": answer.stats.served_from_cache,
+                "pinned": cache.pinned,
+                "pin_limit": cache.pin_limit,
             }
 
         refinement = None
@@ -207,6 +242,8 @@ def connect(
     backend: "str | ExecutionBackend" = "memory",
     measures: tuple[object, ...] | None = None,
     name: str = "graphdb",
+    shards: int | None = None,
+    placement: object = "hash",
     **backend_options: object,
 ) -> Session:
     """Open a :class:`Session` over ``source``.
@@ -214,7 +251,13 @@ def connect(
     ``source`` may be a :class:`~repro.db.database.GraphDatabase` (used
     as-is), an iterable of graphs (loaded into a fresh database), or a
     path to a database JSON file saved with
-    :func:`repro.db.persistence.save_database`.
+    :func:`repro.db.persistence.save_database`. With ``shards=N`` (or
+    ``backend="sharded"``) the session runs over a
+    :class:`~repro.shard.store.ShardedGraphDatabase` partitioned by
+    ``placement``. Answers never depend on placement; for a
+    *bit-identical* re-shard of a saved database, load it with
+    ``load_database(path, preserve_ids=True)`` first (the default load
+    compacts ids, which moves hash-placed graphs).
     """
     if isinstance(source, GraphDatabase):
         database = source
@@ -224,4 +267,11 @@ def connect(
         database = load_database(source)
     else:
         database = GraphDatabase.from_graphs(source, name=name)
-    return Session(database, backend=backend, measures=measures, **backend_options)
+    return Session(
+        database,
+        backend=backend,
+        measures=measures,
+        shards=shards,
+        placement=placement,
+        **backend_options,
+    )

@@ -58,7 +58,7 @@ def _cmd_skyline(args: argparse.Namespace) -> int:
         builder = builder.measures(*measures)
     if args.refine_k:
         builder = builder.refine(k=args.refine_k)
-    with connect(database, backend=args.backend) as session:
+    with connect(database, backend=args.backend, shards=args.shards) as session:
         result = session.execute(builder)
     skyline_names = result.names
     member = set(result.ids)
@@ -152,6 +152,32 @@ def _fuzz_one(
     return 1
 
 
+def _remap_backend(workload, backend: str):
+    """Force every query step of ``workload`` onto ``backend`` (the
+    ``--backend`` smoke mode: concentrate a whole workload's queries on
+    one execution path, e.g. ``--backend sharded``).
+
+    Remapping must preserve the generator's invariant that pruning
+    backends only see ``tolerance == 0`` specs (tolerant dominance is
+    not transitive, so bound pruning under it can legitimately differ
+    from the oracle — a semantics caveat, not a divergence worth
+    reporting), so tolerant specs are zeroed when the target prunes.
+    """
+    import dataclasses
+
+    from repro.testkit.workload import PRUNING_BACKENDS, RunQuery, Workload
+
+    def remap(step):
+        if not isinstance(step, RunQuery):
+            return step
+        query = step.query
+        if backend in PRUNING_BACKENDS and query.tolerance > 0:
+            query = dataclasses.replace(query, tolerance=0.0)
+        return dataclasses.replace(step, backend=backend, query=query)
+
+    return Workload(seed=workload.seed, steps=tuple(map(remap, workload.steps)))
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.testkit import Workload, generate_workload
 
@@ -183,6 +209,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 seed=args.seed, n_steps=args.steps, max_vertices=args.max_vertices
             )
         )
+    if args.backend:
+        workloads = [_remap_backend(w, args.backend) for w in workloads]
     for workload in workloads:
         code = _fuzz_one(
             workload, args.fault, not args.no_shrink, args.save_failure
@@ -253,7 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=available_backends(),
                        help="execution backend (default: memory; 'indexed' "
                             "prunes via feature-index lower bounds, "
-                            "'parallel' fans evaluation over a process pool)")
+                            "'parallel' fans evaluation over a process pool, "
+                            "'sharded' scatter-gathers across shards)")
+    p_sky.add_argument("--shards", type=int, default=None,
+                       help="partition the database across N shards "
+                            "(implied default 2 with --backend sharded)")
     p_sky.add_argument("--refine-k", type=int, default=None,
                        help="refine the skyline to k diverse graphs")
     p_sky.add_argument("--json", action="store_true", help="machine-readable output")
@@ -305,6 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
                              '[{"seed": N, "steps": M}, ...]')
     p_fuzz.add_argument("--replay", default=None,
                         help="replay a saved workload JSON instead of generating")
+    p_fuzz.add_argument("--backend", default=None,
+                        choices=tuple(
+                            name
+                            for name in ("memory", "indexed", "parallel",
+                                         "vectorized", "sharded")
+                            if name in available_backends()
+                        ),
+                        help="force every query step onto one backend "
+                             "(e.g. --backend sharded for a scatter-"
+                             "gather smoke)")
     p_fuzz.add_argument("--fault", default=None,
                         help="inject a known-broken engine stage "
                              "(harness self-test; e.g. flip-bound)")

@@ -85,14 +85,29 @@ class PairCache:
         Normalize the hash pair so ``d(a, b)`` and ``d(b, a)`` share an
         entry. Sound for the paper's measures (all symmetric); pass
         ``False`` when caching a non-symmetric custom measure.
+    pin_limit:
+        LRU cap on the query-hash memo (see :meth:`query_hash`). Each
+        memo entry *pins* a query graph with a strong reference, so the
+        cap bounds how much graph memory a long-lived cache — e.g. one
+        shared across the sessions of a sharded deployment — can keep
+        alive. Surfaced as ``pinned``/``pin_limit`` in
+        :attr:`~repro.api.result.ResultSet.cache_info`.
     """
 
-    #: LRU bound on memoised canonical query hashes (see :meth:`query_hash`).
+    #: Default LRU bound on memoised canonical query hashes.
     _HASH_MEMO_LIMIT = 256
 
-    def __init__(self, max_entries: int = 200_000, symmetric: bool = True) -> None:
+    def __init__(
+        self,
+        max_entries: int = 200_000,
+        symmetric: bool = True,
+        pin_limit: int | None = None,
+    ) -> None:
         self._store = _LruStore(max_entries)
         self.symmetric = symmetric
+        self.pin_limit = self._HASH_MEMO_LIMIT if pin_limit is None else pin_limit
+        if self.pin_limit < 1:
+            raise ValueError("pin_limit must be positive")
         self.hits = 0
         self.misses = 0
         self._hash_memo: "OrderedDict[tuple[int, int], tuple[LabeledGraph, str]]" = (
@@ -102,6 +117,11 @@ class PairCache:
     @property
     def max_entries(self) -> int:
         return self._store.max_entries
+
+    @property
+    def pinned(self) -> int:
+        """How many query graphs the hash memo currently pins."""
+        return len(self._hash_memo)
 
     # -- lookup protocol (shared with QueryCache) -----------------------
     def query_hash(self, query: LabeledGraph) -> str:
@@ -126,7 +146,7 @@ class PairCache:
             return entry[1]
         value = canonical_hash(query)
         self._hash_memo[key] = (query, value)
-        while len(self._hash_memo) > self._HASH_MEMO_LIMIT:
+        while len(self._hash_memo) > self.pin_limit:
             self._hash_memo.popitem(last=False)
         return value
 
@@ -212,8 +232,12 @@ class QueryCache(PairCache):
     :class:`PairCache`.
     """
 
-    def __init__(self, max_entries: int = 50_000) -> None:
-        super().__init__(max_entries=max_entries, symmetric=False)
+    def __init__(
+        self, max_entries: int = 50_000, pin_limit: int | None = None
+    ) -> None:
+        super().__init__(
+            max_entries=max_entries, symmetric=False, pin_limit=pin_limit
+        )
 
     def subject_key(self, entry) -> Hashable:
         return entry.graph_id

@@ -42,6 +42,16 @@ class GraphDatabase:
         self._by_hash: dict[str, list[int]] = {}
         self._next_id = 0
         self._version = 0
+        self._vertex_load = 0
+
+    @property
+    def vertex_load(self) -> int:
+        """Total vertex count across stored graphs (O(1)).
+
+        The load signal size-balanced shard placement reads per insert;
+        maintained incrementally so placement never rescans entries.
+        """
+        return self._vertex_load
 
     @property
     def version(self) -> int:
@@ -83,11 +93,20 @@ class GraphDatabase:
         graph: LabeledGraph,
         metadata: Mapping[str, object] | None = None,
         copy: bool = True,
+        graph_id: int | None = None,
     ) -> int:
         """Store a copy of ``graph`` (the object itself when ``copy=False``);
-        returns its id."""
+        returns its id.
+
+        ``graph_id`` forces a specific id instead of the next sequential
+        one — the sharded store uses this so per-shard databases hold the
+        *global* ids, and re-partitioning preserves identity. Forced ids
+        must be fresh; ids are never reused either way.
+        """
+        if graph_id is not None and graph_id in self._entries:
+            raise DatasetError(f"graph id {graph_id} is already in the database")
         entry = StoredGraph(
-            graph_id=self._next_id,
+            graph_id=self._next_id if graph_id is None else graph_id,
             graph=graph.copy() if copy else graph,
             features=GraphFeatures.of(graph),
             iso_hash=canonical_hash(graph),
@@ -95,8 +114,9 @@ class GraphDatabase:
         )
         self._entries[entry.graph_id] = entry
         self._by_hash.setdefault(entry.iso_hash, []).append(entry.graph_id)
-        self._next_id += 1
+        self._next_id = max(self._next_id, entry.graph_id) + 1
         self._version += 1
+        self._vertex_load += entry.graph.order
         return entry.graph_id
 
     def remove(self, graph_id: int) -> None:
@@ -109,6 +129,7 @@ class GraphDatabase:
         if not bucket:
             del self._by_hash[entry.iso_hash]
         self._version += 1
+        self._vertex_load -= entry.graph.order
 
     # ------------------------------------------------------------------
     # Lookup
@@ -139,13 +160,19 @@ class GraphDatabase:
         """Iterate over stored entries, in insertion order."""
         return iter(self._entries.values())
 
-    def find_isomorphic(self, graph: LabeledGraph) -> int | None:
+    def find_isomorphic(
+        self, graph: LabeledGraph, iso_hash: str | None = None
+    ) -> int | None:
         """Id of a stored graph isomorphic to ``graph``, or ``None``.
 
         Uses the canonical hash as a pre-filter and confirms with the exact
-        isomorphism test, so the answer is never a false positive.
+        isomorphism test, so the answer is never a false positive. Callers
+        probing many stores with the same graph (the sharded database asks
+        every shard) pass the precomputed ``iso_hash`` to canonicalize once.
         """
-        for graph_id in self._by_hash.get(canonical_hash(graph), []):
+        if iso_hash is None:
+            iso_hash = canonical_hash(graph)
+        for graph_id in self._by_hash.get(iso_hash, []):
             if is_isomorphic(self._entries[graph_id].graph, graph):
                 return graph_id
         return None

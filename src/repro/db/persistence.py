@@ -12,8 +12,10 @@ The on-disk format is a single JSON object::
 
 Graph payloads are :func:`repro.graph.serialization.graph_to_dict` output,
 so ids/labels must be JSON-representable (strings/numbers). Loading
-re-inserts entries in stored order; original ids are preserved in the
-``"original_id"`` metadata key when they cannot be reassigned identically.
+re-inserts entries in stored order; by default ids compact to ``0..n-1``
+with the original ids preserved in the ``"original_id"`` metadata key
+when they cannot be reassigned identically, while ``preserve_ids=True``
+restores the stored ids exactly (what deterministic re-sharding needs).
 """
 
 from __future__ import annotations
@@ -42,8 +44,16 @@ def database_to_dict(database: GraphDatabase) -> dict[str, Any]:
     }
 
 
-def database_from_dict(payload: dict[str, Any]) -> GraphDatabase:
-    """Rebuild a database from :func:`database_to_dict` output."""
+def database_from_dict(
+    payload: dict[str, Any], preserve_ids: bool = False
+) -> GraphDatabase:
+    """Rebuild a database from :func:`database_to_dict` output.
+
+    ``preserve_ids=True`` restores every entry under its stored id
+    (gaps left by pre-save removals included) instead of compacting to
+    ``0..n-1`` — the deterministic round-trip sharded deployments rely
+    on, since hash placement is a pure function of the id.
+    """
     try:
         database = GraphDatabase(name=payload.get("name", "graphdb"))
         for entry in payload["entries"]:
@@ -52,7 +62,8 @@ def database_from_dict(payload: dict[str, Any]) -> GraphDatabase:
             graph_payload["edges"] = [tuple(e) for e in graph_payload["edges"]]
             graph = graph_from_dict(graph_payload)
             metadata = dict(entry.get("metadata", {}))
-            new_id = database.insert(graph, metadata=metadata)
+            forced = entry["id"] if preserve_ids and "id" in entry else None
+            new_id = database.insert(graph, metadata=metadata, graph_id=forced)
             if new_id != entry.get("id", new_id):
                 database.entry(new_id).metadata["original_id"] = entry["id"]
     except (KeyError, TypeError) as exc:
@@ -72,10 +83,17 @@ def save_database(database: GraphDatabase, path: "str | Path") -> None:
     Path(path).write_text(text, encoding="utf-8")
 
 
-def load_database(path: "str | Path") -> GraphDatabase:
-    """Read a database previously written by :func:`save_database`."""
+def load_database(
+    path: "str | Path", preserve_ids: bool = False
+) -> GraphDatabase:
+    """Read a database previously written by :func:`save_database`.
+
+    Ids compact to ``0..n-1`` by default (the historical behaviour,
+    with ``original_id`` breadcrumbs); ``preserve_ids=True`` restores
+    the stored ids exactly (see :func:`database_from_dict`).
+    """
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid database JSON: {exc}") from exc
-    return database_from_dict(payload)
+    return database_from_dict(payload, preserve_ids=preserve_ids)

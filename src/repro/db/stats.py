@@ -27,6 +27,10 @@ class QueryStats:
     served_from_cache: int = 0
     skyline_size: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Scatter-gather breakdown: one row per shard (``shard``, ``size``,
+    #: ``candidates``, ``pruned``, ``evaluated``, ``served``), in shard
+    #: order, empty shards included. ``None`` for monolithic runs.
+    per_shard: list[dict[str, int]] | None = None
 
     @property
     def pruning_ratio(self) -> float:
@@ -47,9 +51,12 @@ class QueryStats:
         batched = (
             f" (batch={self.pruned_by_batch})" if self.pruned_by_batch else ""
         )
+        sharded = (
+            f" shards={len(self.per_shard)}" if self.per_shard is not None else ""
+        )
         return (
             f"n={self.database_size} evaluated={self.exact_evaluations} "
-            f"pruned={self.pruned_by_index}{batched}{cached} "
+            f"pruned={self.pruned_by_index}{batched}{cached}{sharded} "
             f"skyline={self.skyline_size} [{timings}]"
         )
 

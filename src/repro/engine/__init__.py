@@ -17,6 +17,10 @@ candidate loop. The pieces compose freely:
   implementations plug in alongside;
 * evaluators — :class:`SerialEvaluator` (interleaved, feeds the bound
   stages) and :class:`PooledEvaluator` (chunked process-pool batching);
+* scatter-gather — :class:`ShardedSource` (per-shard candidate sources
+  over shard-local indexes) plus the :class:`SkylineMerge` /
+  :class:`FrontierMerge` gather consumers behind the ``sharded``
+  backend (:mod:`repro.engine.scatter`);
 * :class:`LiveView` — a materialized skyline kept incrementally correct
   under database mutation (``Session.watch``).
 
@@ -48,6 +52,14 @@ from repro.engine.evaluate import (
     shutdown_pool,
 )
 from repro.engine.core import RunContext, make_context, run_plan
+from repro.engine.scatter import (
+    FrontierMerge,
+    MergeConsumer,
+    ShardedSource,
+    SkylineMerge,
+    merge_consumer,
+    merged_stats,
+)
 from repro.engine.views import LiveView
 
 __all__ = [
@@ -72,5 +84,11 @@ __all__ = [
     "RunContext",
     "make_context",
     "run_plan",
+    "FrontierMerge",
+    "MergeConsumer",
+    "ShardedSource",
+    "SkylineMerge",
+    "merge_consumer",
+    "merged_stats",
     "LiveView",
 ]

@@ -181,15 +181,15 @@ class CachedPairStage(Stage):
             )
 
 
-def bound_pruning(ctx: "RunContext") -> Stage:
-    """The pruning stage matching the run's query kind.
+def bound_stage_for(spec) -> Stage:
+    """The scalar bound-pruning stage for ``spec``'s query kind.
 
-    One pluggable cascade entry covers all four kinds, so plans stay
-    kind-agnostic: Pareto dominator counting for skyline/skyband, the
-    k-th-best cutoff for topk, the bound-vs-threshold test for range
-    queries.
+    The single definition of the kind → stage dispatch: Pareto dominator
+    counting for skyline/skyband, the k-th-best cutoff for topk, the
+    bound-vs-threshold test for range queries. Callers that hold a spec
+    but no run context (e.g. the sharded backend, which shares one stage
+    instance across its per-shard runs) use this directly.
     """
-    spec = ctx.spec
     if spec.kind == "skyline":
         return ParetoPruneStage(1, spec.tolerance)
     if spec.kind == "skyband":
@@ -197,6 +197,12 @@ def bound_pruning(ctx: "RunContext") -> Stage:
     if spec.kind == "topk":
         return RankBoundStage(spec.k)
     return ThresholdBoundStage(spec.threshold)
+
+
+def bound_pruning(ctx: "RunContext") -> Stage:
+    """Cascade entry for :func:`bound_stage_for` (one pluggable factory
+    covers all four kinds, so plans stay kind-agnostic)."""
+    return bound_stage_for(ctx.spec)
 
 
 def cached_pairs(ctx: "RunContext") -> Stage:

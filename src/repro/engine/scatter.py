@@ -1,0 +1,283 @@
+"""Scatter-gather execution over a sharded store.
+
+The distributed-skyline/top-k decomposition the paper's bound-based
+pruning supports natively: bounds are *shard-local* facts (a lower bound
+on ``d(q, g)`` does not care where ``g`` lives), so the pruning cascade
+fans out per shard without losing soundness, and only the cheap
+selection step needs a gather phase. Three parts live here:
+
+* :class:`ShardedSource` — the scatter counterpart of
+  :class:`~repro.engine.plan.BoundOrderedSource`: one candidate
+  sub-source per shard, each over a **shard-local index**
+  (:class:`~repro.index.store.FeatureStore` with its SignatureMatrix /
+  VP-tree when NumPy is present, the scalar
+  :class:`~repro.db.index.FeatureIndex` otherwise) maintained off the
+  shard's own ``version`` counter — a mutation on one shard never
+  invalidates another shard's index rows.
+* merge consumers — :class:`SkylineMerge` (local skyline/skyband per
+  shard, then one global dominance pass over the union) and
+  :class:`FrontierMerge` (per-shard top-k frontiers / threshold matches
+  merged by ``(distance, id)``). Both are property-equal to the
+  monolithic consumer (:mod:`repro.engine.consume`); the soundness
+  arguments are on the classes.
+* :func:`merged_stats` — per-shard counter aggregation into one
+  :class:`~repro.db.stats.QueryStats` with a ``per_shard`` breakdown.
+
+Cross-shard pruning falls out of stage *sharing*: the sharded backend
+reuses one bound-stage instance across its sequential per-shard runs, so
+exact vectors observed while scanning shard ``i`` prune candidates in
+every later shard — the scatter analogue of the sorted-scan cutoff.
+Sharing is sound because a stage only ever accumulates exact vectors of
+real database graphs, and those dominate/cut off globally.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import TYPE_CHECKING
+
+from repro.db.database import GraphDatabase
+from repro.db.index import FeatureIndex
+from repro.db.stats import QueryStats
+from repro.engine.plan import BoundOrderedSource, Candidate, CandidateSource
+from repro.skyline import skyline as vector_skyline
+from repro.skyline.skyband import k_skyband
+from repro.api.spec import GraphQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.backends import BackendAnswer
+    from repro.engine.core import RunContext
+    from repro.shard.store import ShardedGraphDatabase
+
+
+class _ShardIndexProvider:
+    """A shard-local :class:`FeatureIndex`, rebuilt off the shard version.
+
+    The scalar fallback when NumPy is absent; mirrors the ``indexed``
+    backend's self-healing maintenance, but scoped to one shard: only
+    mutations landing on *this* shard trigger a rebuild.
+    """
+
+    def __init__(self, shard: GraphDatabase) -> None:
+        self.shard = shard
+        self.index = FeatureIndex()
+        self._version = -1
+
+    def __call__(self) -> FeatureIndex:
+        if self._version != self.shard.version:
+            self.index = FeatureIndex()
+            for entry in self.shard.entries():
+                self.index.add(entry.graph_id, entry.features)
+            self._version = self.shard.version
+        return self.index
+
+
+class ShardedSource(CandidateSource):
+    """Scatter fan-out: per-shard candidate sources over shard-local indexes.
+
+    :meth:`shard_source` hands the sharded backend one sub-source per
+    shard (cached — index state persists across queries);
+    :meth:`candidates` is the degenerate single-run form, concatenating
+    every shard's candidates in shard order, which keeps the source
+    usable in an ordinary :class:`~repro.engine.plan.EvaluationPlan`.
+    """
+
+    computes_bounds = True
+
+    def __init__(
+        self, database: "ShardedGraphDatabase", use_index: bool = True
+    ) -> None:
+        # One NumPy gate for the whole library (same probe that registers
+        # the vectorized backend); imported lazily to keep module import
+        # order between repro.engine and repro.api unconstrained.
+        from repro.api.backends import _numpy_available
+
+        self.database = database
+        self.use_index = use_index
+        self._vectorized = _numpy_available()
+        self._sources: dict[int, CandidateSource] = {}
+
+    def shard_source(self, index: int) -> CandidateSource:
+        """The candidate source bound to shard ``index``."""
+        source = self._sources.get(index)
+        if source is None:
+            shard = self.database.shards[index]
+            if self._vectorized:
+                from repro.index import FeatureStore, IndexedSource
+
+                store = FeatureStore(shard)
+                source = IndexedSource(
+                    lambda store=store: store, prefilter=self.use_index
+                )
+            else:
+                source = BoundOrderedSource(_ShardIndexProvider(shard))
+            self._sources[index] = source
+        return source
+
+    def candidates(self, ctx: "RunContext") -> list[Candidate]:
+        scattered: list[Candidate] = []
+        for index in range(self.database.shard_count):
+            if len(self.database.shards[index]):
+                scattered.extend(self.shard_source(index).candidates(ctx))
+        return scattered
+
+
+# ----------------------------------------------------------------------
+# Merge consumers (the gather phase)
+# ----------------------------------------------------------------------
+class MergeConsumer(abc.ABC):
+    """Combines per-shard :class:`BackendAnswer` objects into the global one."""
+
+    name: str = "merge"
+
+    @abc.abstractmethod
+    def merge(
+        self,
+        spec: GraphQuery,
+        shard_answers: "list[BackendAnswer]",
+        stats: QueryStats,
+    ) -> "BackendAnswer":
+        """The global answer over the per-shard local answers."""
+
+
+class SkylineMerge(MergeConsumer):
+    """Local skyline (or k-skyband) union, then one global dominance pass.
+
+    Soundness: a graph in the global skyline is dominated by nobody, in
+    particular by nobody in its own shard — so it is in its shard's local
+    skyline and therefore in the union the global pass sees. The same
+    argument with "dominated by < k" gives the k-skyband case. The global
+    pass then removes exactly the cross-shard-dominated members, because
+    exact dominance (tolerance 0, finite values) is transitive: anything
+    a discarded local non-member would have eliminated is also eliminated
+    by one of that non-member's own dominators, which *is* in some local
+    answer.
+
+    Transitivity is where the two documented edge cases live, and both
+    fall back to pooling **every** evaluated vector (a verbatim re-run of
+    the monolithic selection) instead of only the local answers:
+
+    * ``tolerance > 0`` — tolerant dominance is not transitive;
+    * NaN coordinates — NaN compares as a tie, which also breaks
+      transitivity (``y`` may dominate ``w`` and ``w`` dominate ``u``
+      with ``y`` and ``u`` incomparable through a NaN dimension).
+
+    Property-tested against the monolithic consumer for random vector
+    sets and placements in ``tests/test_shard_merge_property.py``.
+    """
+
+    name = "skyline-merge"
+
+    def merge(self, spec, shard_answers, stats):
+        from repro.api.backends import BackendAnswer
+
+        vectors = {}
+        evaluated: list[int] = []
+        pruned: list[int] = []
+        local_union: list[int] = []
+        for answer in shard_answers:
+            vectors.update(answer.vectors)
+            evaluated.extend(answer.evaluated_ids)
+            pruned.extend(answer.pruned_ids)
+            local_union.extend(answer.ids)
+        pool = local_union
+        if spec.tolerance > 0 or any(
+            math.isnan(value)
+            for vector in vectors.values()
+            for value in vector.values
+        ):
+            pool = list(vectors)
+        values = [vectors[graph_id].values for graph_id in pool]
+        if spec.kind == "skyband":
+            positions = k_skyband(values, spec.k, tolerance=spec.tolerance)
+        else:
+            positions = vector_skyline(
+                values, algorithm=spec.algorithm, tolerance=spec.tolerance
+            )
+        answer_ids = sorted(pool[position] for position in positions)
+        stats.skyline_size = len(answer_ids)
+        return BackendAnswer(answer_ids, evaluated, vectors, None, stats, pruned)
+
+
+class FrontierMerge(MergeConsumer):
+    """Merge per-shard top-k frontiers (or threshold matches) by distance.
+
+    Soundness for top-k: every member of the global top-k is among the k
+    best of its own shard (fewer than k graphs beat it anywhere, so fewer
+    than k beat it in its shard), hence in some shard's frontier; merging
+    the frontiers by ``(distance, id)`` and cutting at ``k`` reproduces
+    the monolithic ranking, ties included. Threshold answers are plain
+    filters, so the merge is a sorted union.
+    """
+
+    name = "frontier-merge"
+
+    def merge(self, spec, shard_answers, stats):
+        from repro.api.backends import BackendAnswer
+
+        distances: dict[int, float] = {}
+        evaluated: list[int] = []
+        pruned: list[int] = []
+        frontier: list[int] = []
+        for answer in shard_answers:
+            distances.update(answer.distances or {})
+            evaluated.extend(answer.evaluated_ids)
+            pruned.extend(answer.pruned_ids)
+            frontier.extend(answer.ids)
+        frontier.sort(key=lambda graph_id: (distances[graph_id], graph_id))
+        if spec.kind == "topk":
+            frontier = frontier[: spec.k]
+        return BackendAnswer(frontier, evaluated, {}, distances, stats, pruned)
+
+
+def merge_consumer(spec: GraphQuery) -> MergeConsumer:
+    """The gather consumer matching the spec's query kind."""
+    if spec.kind in ("skyline", "skyband"):
+        return SkylineMerge()
+    return FrontierMerge()
+
+
+# ----------------------------------------------------------------------
+# Stats aggregation
+# ----------------------------------------------------------------------
+def merged_stats(
+    database: "ShardedGraphDatabase",
+    shard_stats: "list[QueryStats | None]",
+) -> QueryStats:
+    """One global :class:`QueryStats` summing per-shard runs.
+
+    Counters and phase timings add up; the per-shard breakdown (empty
+    shards included, with zero counters) lands in
+    :attr:`QueryStats.per_shard` for ``explain()``/``to_dict()``.
+    """
+    stats = QueryStats(database_size=len(database))
+    breakdown: list[dict[str, int]] = []
+    for index, shard in enumerate(shard_stats):
+        row = {
+            "shard": index,
+            "size": len(database.shards[index]),
+            "candidates": 0,
+            "pruned": 0,
+            "evaluated": 0,
+            "served": 0,
+        }
+        if shard is not None:
+            stats.candidates_considered += shard.candidates_considered
+            stats.pruned_by_index += shard.pruned_by_index
+            stats.pruned_by_batch += shard.pruned_by_batch
+            stats.exact_evaluations += shard.exact_evaluations
+            stats.served_from_cache += shard.served_from_cache
+            for phase, seconds in shard.phase_seconds.items():
+                stats.phase_seconds[phase] = (
+                    stats.phase_seconds.get(phase, 0.0) + seconds
+                )
+            row.update(
+                candidates=shard.candidates_considered,
+                pruned=shard.pruned_by_index,
+                evaluated=shard.exact_evaluations,
+                served=shard.served_from_cache,
+            )
+        breakdown.append(row)
+    stats.per_shard = breakdown
+    return stats

@@ -210,14 +210,13 @@ class BatchParetoStage(Stage):
         self._count += 1
 
 
-def batch_bound_pruning(ctx: "RunContext") -> Stage:
-    """Kind-dispatched pruning stage for vectorized plans.
+def batch_bound_stage_for(spec) -> Stage:
+    """The vectorized bound-pruning stage for ``spec``'s query kind.
 
     Skyline/skyband get the batched Pareto stage; the topk/threshold
     cutoffs are already O(1) per candidate, so the scalar stages are
     reused as-is.
     """
-    spec = ctx.spec
     if spec.kind == "skyline":
         return BatchParetoStage(1, spec.tolerance)
     if spec.kind == "skyband":
@@ -225,3 +224,8 @@ def batch_bound_pruning(ctx: "RunContext") -> Stage:
     if spec.kind == "topk":
         return RankBoundStage(spec.k)
     return ThresholdBoundStage(spec.threshold)
+
+
+def batch_bound_pruning(ctx: "RunContext") -> Stage:
+    """Cascade entry for :func:`batch_bound_stage_for`."""
+    return batch_bound_stage_for(ctx.spec)

@@ -1,0 +1,229 @@
+"""Sharded graph storage: one database interface over N shard databases.
+
+:class:`ShardedGraphDatabase` presents the exact
+:class:`~repro.db.database.GraphDatabase` interface — stable global ids,
+insertion-ordered iteration, versioning, iso-lookup, persistence via the
+same ``entries()`` protocol — but partitions the graphs across ``shards``
+inner :class:`~repro.db.database.GraphDatabase` instances through a
+pluggable :class:`~repro.shard.placement.Placement` policy.
+
+The split is what makes scatter-gather execution possible without any
+change to the paper's pruning arguments:
+
+* ids are allocated globally (never reused) and forced into the owning
+  shard, so a shard database *is* a plain ``GraphDatabase`` whose ids
+  happen to be a subset of the global id space — every existing index
+  structure (:class:`~repro.db.index.FeatureIndex`,
+  :class:`~repro.index.store.FeatureStore`) binds to a shard unchanged
+  and follows that shard's own ``version`` counter;
+* the global database remains fully usable as a monolith: every backend
+  (``memory``, ``indexed``, ``parallel``, ``vectorized``) runs over a
+  sharded store through the inherited interface, which is how the
+  differential testkit fuzzes mutations that land on different shards
+  under *all* execution strategies;
+* the ``sharded`` backend (:mod:`repro.shard.backend`) additionally
+  exploits the partitioning: per-shard cascades, per-shard payload
+  shipping, and merge consumers over per-shard answers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import DatasetError
+from repro.db.database import GraphDatabase, StoredGraph
+from repro.graph.canonical import canonical_hash
+from repro.graph.labeled_graph import LabeledGraph
+from repro.shard.placement import Placement, get_placement
+
+
+class ShardedGraphDatabase(GraphDatabase):
+    """A :class:`GraphDatabase` partitioned across N shard databases.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions (``>= 1``).
+    placement:
+        A registered policy name (``"hash"``, ``"size-balanced"``) or a
+        :class:`~repro.shard.placement.Placement` instance.
+    name:
+        Database name; shard databases are named ``<name>.shard<i>``.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        placement: "str | Placement" = "hash",
+        name: str = "graphdb",
+    ) -> None:
+        if shards < 1:
+            raise DatasetError(f"a sharded database needs >= 1 shards, got {shards}")
+        super().__init__(name=name)
+        self.placement = get_placement(placement)
+        self._shards: tuple[GraphDatabase, ...] = tuple(
+            GraphDatabase(name=f"{name}.shard{index}") for index in range(shards)
+        )
+        #: Global id -> owning shard index, in global insertion order.
+        self._shard_of: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Shard topology
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> tuple[GraphDatabase, ...]:
+        """The per-shard databases, by shard index."""
+        return self._shards
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, graph_id: int) -> int:
+        """Index of the shard owning ``graph_id``."""
+        try:
+            return self._shard_of[graph_id]
+        except KeyError:
+            raise DatasetError(f"graph id {graph_id} is not in the database") from None
+
+    def shard_sizes(self) -> list[int]:
+        """Graph count per shard, by shard index."""
+        return [len(shard) for shard in self._shards]
+
+    @property
+    def vertex_load(self) -> int:
+        return sum(shard.vertex_load for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graphs(
+        cls,
+        graphs: Iterable[LabeledGraph],
+        name: str = "graphdb",
+        deduplicate: bool = False,
+        copy: bool = True,
+        shards: int = 2,
+        placement: "str | Placement" = "hash",
+    ) -> "ShardedGraphDatabase":
+        """Bulk-load a sharded database (optionally dropping iso-duplicates)."""
+        database = cls(shards=shards, placement=placement, name=name)
+        for graph in graphs:
+            if deduplicate and database.find_isomorphic(graph) is not None:
+                continue
+            database.insert(graph, copy=copy)
+        return database
+
+    @classmethod
+    def from_database(
+        cls,
+        database: GraphDatabase,
+        shards: int = 2,
+        placement: "str | Placement" = "hash",
+        copy: bool = False,
+    ) -> "ShardedGraphDatabase":
+        """Re-partition an existing database, preserving ids and metadata.
+
+        The default ``copy=False`` shares the stored graph objects (the
+        source database already owns defensive copies); the source is
+        left untouched either way. Loading a saved database into shards
+        is ``from_database(load_database(path, preserve_ids=True), ...)``
+        — with preserved ids, hash placement lands every graph on the
+        same shard again (the default load compacts ids after removals,
+        which is lossless for answers but not for placement).
+        """
+        sharded = cls(shards=shards, placement=placement, name=database.name)
+        for entry in database.entries():
+            sharded.insert(
+                entry.graph,
+                metadata=entry.metadata,
+                copy=copy,
+                graph_id=entry.graph_id,
+            )
+        return sharded
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        graph: LabeledGraph,
+        metadata: Mapping[str, object] | None = None,
+        copy: bool = True,
+        graph_id: int | None = None,
+    ) -> int:
+        new_id = self._next_id if graph_id is None else graph_id
+        if new_id in self._shard_of:
+            raise DatasetError(f"graph id {new_id} is already in the database")
+        index = self.placement.place(new_id, graph, self._shards)
+        if not 0 <= index < len(self._shards):
+            raise DatasetError(
+                f"placement {self.placement.name!r} chose shard {index} "
+                f"of {len(self._shards)}"
+            )
+        self._shards[index].insert(graph, metadata, copy=copy, graph_id=new_id)
+        self._shard_of[new_id] = index
+        self._next_id = max(self._next_id, new_id) + 1
+        self._version += 1
+        return new_id
+
+    def remove(self, graph_id: int) -> None:
+        index = self._shard_of.pop(graph_id, None)
+        if index is None:
+            raise DatasetError(f"graph id {graph_id} is not in the database")
+        self._shards[index].remove(graph_id)
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Lookup (routed through the owning shard, global insertion order)
+    # ------------------------------------------------------------------
+    def get(self, graph_id: int) -> LabeledGraph:
+        return self._shards[self.shard_of(graph_id)].get(graph_id)
+
+    def entry(self, graph_id: int) -> StoredGraph:
+        return self._shards[self.shard_of(graph_id)].entry(graph_id)
+
+    def ids(self) -> list[int]:
+        return list(self._shard_of)
+
+    def graphs(self) -> list[LabeledGraph]:
+        return [self.get(graph_id) for graph_id in self._shard_of]
+
+    def entries(self) -> Iterator[StoredGraph]:
+        return (self.entry(graph_id) for graph_id in self._shard_of)
+
+    def find_isomorphic(
+        self, graph: LabeledGraph, iso_hash: str | None = None
+    ) -> int | None:
+        # Each shard returns its earliest-inserted isomorphic graph (ids
+        # grow with insertion), so the global earliest is the minimum.
+        # Canonicalize once; every shard probe re-uses the hash.
+        if iso_hash is None:
+            iso_hash = canonical_hash(graph)
+        matches = [
+            match
+            for shard in self._shards
+            if (match := shard.find_isomorphic(graph, iso_hash)) is not None
+        ]
+        return min(matches) if matches else None
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def __contains__(self, graph_id: object) -> bool:
+        return graph_id in self._shard_of
+
+    def __iter__(self) -> Iterator[tuple[int, LabeledGraph]]:
+        for graph_id in self._shard_of:
+            yield graph_id, self.get(graph_id)
+
+    def __repr__(self) -> str:
+        sizes = "+".join(str(size) for size in self.shard_sizes())
+        return (
+            f"<ShardedGraphDatabase {self.name!r}: {len(self)} graphs "
+            f"across {self.shard_count} shards ({sizes})>"
+        )

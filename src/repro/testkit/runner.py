@@ -42,6 +42,8 @@ from repro.engine.plan import Candidate, EvaluationPlan, Stage
 from repro.errors import QueryError
 from repro.engine.evaluate import SerialEvaluator
 from repro.graph.serialization import graph_to_dict
+from repro.shard.backend import ShardedBackend
+from repro.shard.store import ShardedGraphDatabase
 from repro.skyline.utils import dominates
 from repro.testkit.oracle import Oracle
 from repro.testkit.workload import (
@@ -228,14 +230,32 @@ class WorkloadRunner:
         with the deliberately broken variant (harness self-test).
     max_workers:
         Pool size for the ``parallel`` backend sessions.
+    shards:
+        Shard count of the runner's database. The system under test is a
+        :class:`~repro.shard.store.ShardedGraphDatabase` by default, so
+        *every* backend is fuzzed over the shard store, mutations land
+        on different shards, and the ``sharded`` backend's scatter-gather
+        path runs against the same oracle as everything else. ``1``
+        falls back to a monolithic :class:`GraphDatabase` (the
+        ``sharded`` backend then rejects its steps).
     """
 
-    def __init__(self, fault: str | None = None, max_workers: int = 2) -> None:
+    def __init__(
+        self,
+        fault: str | None = None,
+        max_workers: int = 2,
+        shards: int = 2,
+    ) -> None:
         if fault is not None and fault not in FAULTS:
             raise QueryError(
                 f"unknown fault {fault!r}; available: {', '.join(sorted(FAULTS))}"
             )
-        self.database = GraphDatabase(name="testkit")
+        if shards > 1:
+            self.database: GraphDatabase = ShardedGraphDatabase(
+                shards=shards, name="testkit"
+            )
+        else:
+            self.database = GraphDatabase(name="testkit")
         self.oracle = Oracle()
         self.cache = PairCache()
         self.fault = fault
@@ -247,13 +267,13 @@ class WorkloadRunner:
 
     # -- sessions --------------------------------------------------------
     def _backend(self, name: str, cached: bool) -> ExecutionBackend:
-        if name not in ("memory", "indexed", "parallel", "vectorized"):
+        if name not in ("memory", "indexed", "parallel", "vectorized", "sharded"):
             # Reject rather than fall back: a typo'd backend in a
             # hand-edited workload would silently run memory semantics
             # and trivially "pass" against the oracle.
             raise QueryError(
                 f"unknown workload backend {name!r}; "
-                "available: memory, indexed, parallel, vectorized"
+                "available: memory, indexed, parallel, vectorized, sharded"
             )
         cache = self.cache if cached else None
         if name == "indexed":
@@ -267,6 +287,8 @@ class WorkloadRunner:
             return ParallelBackend(
                 self.database, max_workers=self.max_workers, cache=cache
             )
+        if name == "sharded":
+            return ShardedBackend(self.database, cache=cache)
         return MemoryBackend(self.database, cache=cache)
 
     def session(self, name: str, cached: bool) -> Session:
@@ -438,10 +460,13 @@ class WorkloadRunner:
 
 
 def run_workload(
-    workload: Workload, fault: str | None = None, max_workers: int = 2
+    workload: Workload,
+    fault: str | None = None,
+    max_workers: int = 2,
+    shards: int = 2,
 ) -> RunReport:
     """Replay ``workload`` in a fresh runner; sessions closed afterwards."""
-    runner = WorkloadRunner(fault=fault, max_workers=max_workers)
+    runner = WorkloadRunner(fault=fault, max_workers=max_workers, shards=shards)
     try:
         return runner.run(workload)
     finally:

@@ -37,17 +37,23 @@ from repro.api.backends import _numpy_available
 
 #: Backends every generated workload exercises (``vectorized`` joins the
 #: rotation whenever NumPy is importable — the same gate that registers
-#: the backend).
+#: the backend). The runner's database is itself sharded (see
+#: :class:`~repro.testkit.runner.WorkloadRunner`), so every backend is
+#: fuzzed over the shard store and ``sharded`` adds the scatter-gather
+#: execution path on top.
 WORKLOAD_BACKENDS: tuple[str, ...] = (
-    ("memory", "indexed", "parallel", "vectorized")
+    ("memory", "indexed", "parallel", "vectorized", "sharded")
     if _numpy_available()
-    else ("memory", "indexed", "parallel")
+    else ("memory", "indexed", "parallel", "sharded")
 )
 
 #: Backends whose cascade prunes by index bounds. Tolerant dominance is
 #: not transitive, so pruning-then-selecting can legitimately differ
 #: from exhaustive selection under tolerance > 0 — generated specs keep
-#: tolerance at 0 for these.
+#: tolerance at 0 for these. ``sharded`` is deliberately *not* listed:
+#: it guards the caveat itself (tolerance > 0 disables its pruning and
+#: pools every evaluated vector), so tolerant specs are sound there and
+#: generating them fuzzes that fallback path against the oracle.
 PRUNING_BACKENDS: tuple[str, ...] = ("indexed", "vectorized")
 
 #: GCS measure subsets queries cycle through (``None`` = paper default).

@@ -19,9 +19,11 @@ from tests.conftest import small_labeled_graphs
 
 # ``vectorized`` joins the parity rotation whenever NumPy is importable
 # (the backend registry gates on it), so the suite still runs without it.
+# ``sharded`` sessions are opened through the same ``connect`` call — the
+# session re-partitions the database into the default 2 shards.
 BACKENDS = tuple(
     name
-    for name in ("memory", "indexed", "parallel", "vectorized")
+    for name in ("memory", "indexed", "parallel", "vectorized", "sharded")
     if name in available_backends()
 )
 

@@ -38,6 +38,7 @@ def test_examples_directory_complete():
         "database_indexing.py",
         "dynamic_database.py",
         "live_view.py",
+        "sharded.py",
     } <= names
 
 
@@ -84,3 +85,10 @@ def test_live_view_example():
     assert "watching: <LiveView" in out
     assert "streaming compounds in:" in out
     assert "view equals a from-scratch re-query: True" in out
+
+
+def test_sharded_example():
+    out = run_example("sharded.py")
+    assert "partitioned store: <ShardedGraphDatabase" in out
+    assert "sharded skyline equals monolithic: True" in out
+    assert "post-mutation answers still agree with memory: True" in out
