@@ -1,0 +1,139 @@
+"""Bench A10 — serving overhead: QPS and tail latency of the query service.
+
+The server wraps ``Session.execute`` in HTTP framing, admission control
+and a deadline scope; this bench measures what that wrapper costs. A
+fixed number of concurrent clients replays cached-friendly skyline and
+top-k queries against an in-thread server and reports sustained QPS plus
+p50/p99 latency per kind. The acceptance gate is a deliberately low QPS
+floor — far under the observed rate, it only catches a serving-layer
+collapse (an accidental lock serializing everything, an event-loop stall),
+not machine noise. Results land in ``BENCH_server.json`` for archiving.
+"""
+
+import json
+import statistics
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+import pytest
+
+from repro import GraphDatabase
+from repro.api.spec import GraphQuery
+from repro.bench import render_table
+from repro.datasets import make_workload
+from repro.server import ServerConfig, serve_in_thread
+
+N_GRAPHS = 24
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 25
+#: QPS floor: observed is hundreds/s once the pair cache is warm; the
+#: floor only trips when serving itself breaks down.
+MIN_QPS = 10.0
+OUTPUT = Path(__file__).resolve().parent / "BENCH_server.json"
+
+
+def _request(conn: HTTPConnection, spec_payload: dict) -> float:
+    start = time.perf_counter()
+    conn.request("POST", "/v1/query", body=json.dumps(spec_payload))
+    response = conn.getresponse()
+    payload = json.loads(response.read())
+    elapsed = time.perf_counter() - start
+    assert response.status == 200, payload
+    return elapsed
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+@pytest.mark.benchmark(group="a10-server-throughput")
+def test_server_sustained_qps_and_tail_latency():
+    workload = make_workload(n_graphs=N_GRAPHS, query_size=5, seed=23)
+    database = GraphDatabase.from_graphs(workload.database)
+    specs = {
+        "skyline": GraphQuery(graph=workload.queries[0], kind="skyline"),
+        "topk": GraphQuery(
+            graph=workload.queries[0], kind="topk", k=3, measure="edit"
+        ),
+    }
+    config = ServerConfig(max_concurrency=CLIENTS, max_queue=CLIENTS * 4)
+    report: dict[str, dict] = {}
+    with serve_in_thread(database, config) as server:
+        # one warm-up pass per kind fills the shared pair cache, so the
+        # measured window benches serving overhead, not GED evaluation.
+        warm = HTTPConnection("127.0.0.1", server.port, timeout=120)
+        for spec in specs.values():
+            _request(warm, spec.to_dict())
+        warm.close()
+
+        for kind, spec in specs.items():
+            payload = spec.to_dict()
+            latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+            errors: list[BaseException] = []
+
+            def client(slot: int) -> None:
+                try:
+                    conn = HTTPConnection(
+                        "127.0.0.1", server.port, timeout=120
+                    )
+                    for _ in range(REQUESTS_PER_CLIENT):
+                        latencies[slot].append(_request(conn, payload))
+                    conn.close()
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(CLIENTS)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=600)
+            elapsed = time.perf_counter() - start
+            assert not errors, errors
+
+            flat = [sample for series in latencies for sample in series]
+            assert len(flat) == CLIENTS * REQUESTS_PER_CLIENT
+            report[kind] = {
+                "requests": len(flat),
+                "seconds": elapsed,
+                "qps": len(flat) / elapsed,
+                "p50_ms": _percentile(flat, 0.50) * 1000,
+                "p99_ms": _percentile(flat, 0.99) * 1000,
+                "mean_ms": statistics.fmean(flat) * 1000,
+            }
+        stats = server.admission.snapshot()
+
+    rows = [
+        [kind, values["requests"], round(values["qps"], 1),
+         round(values["p50_ms"], 2), round(values["p99_ms"], 2)]
+        for kind, values in report.items()
+    ]
+    print()
+    print(render_table(
+        ["kind", "requests", "QPS", "p50 ms", "p99 ms"],
+        rows,
+        title=f"A10 — serving throughput ({CLIENTS} clients)",
+    ))
+
+    OUTPUT.write_text(json.dumps({
+        "database_graphs": N_GRAPHS,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "kinds": report,
+        "admission": stats,
+    }, indent=2), encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+    assert stats["rejected"] == 0, stats
+    for kind, values in report.items():
+        assert values["qps"] >= MIN_QPS, (
+            f"serving collapsed on {kind}: {values['qps']:.1f} QPS "
+            f"(floor {MIN_QPS})"
+        )

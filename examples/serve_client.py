@@ -1,0 +1,110 @@
+"""Talking to the query service over HTTP.
+
+Starts ``python -m repro serve`` as a subprocess on an ephemeral port,
+then exercises the three endpoints a typical client uses:
+
+* ``POST /v1/query`` — a skyline and a top-k query (the request body is
+  ``GraphQuery.to_dict()``, the response is ``ResultSet.to_dict()``);
+* ``POST /v1/watch`` — a streamed live skyline that updates as the
+  database is mutated through ``POST /v1/mutate``;
+* ``GET /v1/stats`` — the server's admission/cache/watch counters.
+
+Run with: python examples/serve_client.py
+"""
+
+import http.client
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import repro
+from repro import GraphDatabase
+from repro.api.ops import AddOp
+from repro.api.spec import GraphQuery
+from repro.datasets import figure3_database, figure3_query
+from repro.db import save_database
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def request(port, method, path, payload=None, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    body = None if payload is None else json.dumps(payload)
+    conn.request(method, path, body=body, headers=headers or {})
+    response = conn.getresponse()
+    result = json.loads(response.read())
+    conn.close()
+    return response.status, result
+
+
+def main() -> None:
+    # -- start the server over the paper's worked example ---------------
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "fig3.json"
+        save_database(
+            GraphDatabase.from_graphs(figure3_database(), name="fig3"), db_path
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(db_path),
+             "--port", "0"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            print(banner)
+            port = int(banner.rsplit(":", 1)[1])
+
+            # -- plain queries: the existing JSON formats over HTTP -----
+            spec = GraphQuery(graph=figure3_query(), kind="skyline")
+            status, answer = request(port, "POST", "/v1/query", spec.to_dict())
+            print(f"skyline over HTTP ({status}): {answer['answer']}")
+
+            topk = GraphQuery(
+                graph=figure3_query(), kind="topk", k=3, measure="edit"
+            )
+            status, answer = request(port, "POST", "/v1/query", topk.to_dict())
+            print(f"top-3 by edit distance ({status}): {answer['answer']}")
+
+            # -- a live watch stream + a mutation ------------------------
+            body = json.dumps(spec.to_dict()).encode()
+            sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+            sock.sendall(
+                b"POST /v1/watch HTTP/1.1\r\nHost: example\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n"
+                + body
+            )
+            stream = sock.makefile("rb")
+            while stream.readline() not in (b"\r\n", b"\n", b""):
+                pass  # skip the response headers
+            snapshot = json.loads(stream.readline())
+            print(f"watch snapshot: {snapshot['answer']}")
+
+            status, ack = request(
+                port, "POST", "/v1/mutate",
+                AddOp(handle="twin", graph=figure3_query()).to_dict(),
+            )
+            print(f"mutation acknowledged ({status}): "
+                  f"database_size={ack['database_size']}")
+            update = json.loads(stream.readline())
+            print(f"watch update after insert: {update['answer']}")
+            stream.close()
+            sock.close()
+
+            status, stats = request(port, "GET", "/v1/stats")
+            print(f"served {stats['counters']['queries_served']} queries, "
+                  f"{stats['counters']['mutations_applied']} mutation(s), "
+                  f"{stats['watches']['opened']} watch stream(s)")
+        finally:
+            proc.send_signal(signal.SIGINT)
+            proc.communicate(timeout=60)
+    print(f"server exit code: {proc.returncode}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,226 @@
+"""Mutation operations: one wire encoding for testkit and server.
+
+The library has exactly three database mutations — insert a graph,
+remove one, relabel one vertex (remove + re-insert, the database's only
+update path) — and two consumers of their JSON encoding: the testkit's
+replayable workloads (:mod:`repro.testkit.workload`) and the query
+service's ``/v1/mutate`` endpoint (:mod:`repro.server`). This module is
+the single encoder/decoder both route through, so a mutation stream
+recorded by the fuzzer can be replayed verbatim against a live server
+(and served mutations stay fuzzable against the oracle).
+
+Graphs are referenced by caller-chosen string *handles* rather than
+database ids: ids depend on how many inserts actually executed, which
+would change under workload shrinking and across server restarts;
+handles are stable names mapped to live ids at apply time.
+
+Wire payloads::
+
+    {"op": "add",     "handle": "g0", "graph": {...}}
+    {"op": "remove",  "handle": "g0"}
+    {"op": "relabel", "handle": "g0", "new_handle": "g1",
+     "vertex_index": 2, "label": "N"}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.errors import QueryError, SerializationError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+
+
+@dataclass(frozen=True)
+class MutationOp:
+    """Base of the three mutation operations; subclasses set :attr:`op`."""
+
+    op: ClassVar[str] = "mutation"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op}
+
+
+@dataclass(frozen=True)
+class AddOp(MutationOp):
+    """Insert ``graph`` under the fresh ``handle``."""
+
+    handle: str
+    graph: LabeledGraph
+
+    op: ClassVar[str] = "add"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "handle": self.handle,
+            "graph": graph_to_dict(self.graph),
+        }
+
+
+@dataclass(frozen=True)
+class RemoveOp(MutationOp):
+    """Remove the graph stored under ``handle``."""
+
+    handle: str
+
+    op: ClassVar[str] = "remove"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": self.op, "handle": self.handle}
+
+
+@dataclass(frozen=True)
+class RelabelOp(MutationOp):
+    """Relabel one vertex of ``handle``'s graph; the relabeled copy
+    replaces the original under ``new_handle``.
+
+    ``vertex_index`` selects a vertex positionally (mod order) so the
+    operation stays applicable to any graph.
+    """
+
+    handle: str
+    new_handle: str
+    vertex_index: int
+    label: str
+
+    op: ClassVar[str] = "relabel"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "handle": self.handle,
+            "new_handle": self.new_handle,
+            "vertex_index": self.vertex_index,
+            "label": self.label,
+        }
+
+
+#: Registry of the wire-encodable mutation operations.
+MUTATION_OPS: dict[str, type[MutationOp]] = {
+    cls.op: cls for cls in (AddOp, RemoveOp, RelabelOp)
+}
+
+
+def mutation_from_dict(payload: dict[str, Any]) -> MutationOp:
+    """Rebuild one mutation op from its :meth:`MutationOp.to_dict` payload.
+
+    Raises :class:`~repro.errors.SerializationError` on unknown ops and
+    missing or malformed fields — the validation path the server's
+    mutate endpoint and the workload decoder share.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"malformed mutation payload: expected an object, "
+            f"got {type(payload).__name__}"
+        )
+    try:
+        op = payload["op"]
+        cls = MUTATION_OPS[op]
+    except (KeyError, TypeError) as exc:
+        known = ", ".join(sorted(MUTATION_OPS))
+        raise SerializationError(
+            f"malformed mutation payload: unknown op {exc}; known ops: {known}"
+        ) from exc
+    try:
+        if cls is AddOp:
+            return AddOp(
+                handle=str(payload["handle"]),
+                graph=graph_from_dict(payload["graph"]),
+            )
+        if cls is RemoveOp:
+            return RemoveOp(handle=str(payload["handle"]))
+        return RelabelOp(
+            handle=str(payload["handle"]),
+            new_handle=str(payload["new_handle"]),
+            vertex_index=int(payload["vertex_index"]),
+            label=str(payload["label"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed {op!r} mutation payload: {exc!r}"
+        ) from exc
+
+
+def relabeled_copy(
+    graph: LabeledGraph, vertex_index: int, label: str, name: str
+) -> LabeledGraph:
+    """The relabeled replacement graph a :class:`RelabelOp` inserts.
+
+    One definition of the positional-vertex semantics, shared by the
+    workload generator, the differential runner and the server.
+    """
+    relabeled = graph.copy(name=name)
+    vertex = relabeled.vertices()[vertex_index % relabeled.order]
+    relabeled.relabel_vertex(vertex, label)
+    return relabeled
+
+
+def applicable(op: MutationOp, handles: dict[str, int]) -> bool:
+    """Whether ``op`` can apply given the live handle → id map.
+
+    ``add`` needs a fresh handle; ``remove`` a live one; ``relabel`` a
+    live source and a fresh target. The testkit runner *skips* steps
+    that fail this test (so any workload subsequence replays); the
+    server rejects them with a structured error instead.
+    """
+    if isinstance(op, AddOp):
+        return op.handle not in handles
+    if isinstance(op, RemoveOp):
+        return op.handle in handles
+    assert isinstance(op, RelabelOp)
+    return op.handle in handles and op.new_handle not in handles
+
+
+def apply_mutation(
+    database: "Any",
+    op: MutationOp,
+    handle_to_id: dict[str, int],
+    id_to_handle: dict[int, str],
+) -> dict[str, Any]:
+    """Apply ``op`` to ``database``, maintaining both handle maps.
+
+    Returns an acknowledgement payload (op, handle(s), the affected
+    database id, and the resulting database size). Raises
+    :class:`~repro.errors.QueryError` when :func:`applicable` is false —
+    dead or duplicate handles never silently no-op here.
+    """
+    if not applicable(op, handle_to_id):
+        raise QueryError(
+            f"mutation {op.op!r} not applicable: handle "
+            f"{op.handle!r} {'already live' if isinstance(op, AddOp) else 'not live'}"
+            if not isinstance(op, RelabelOp)
+            or op.handle not in handle_to_id
+            else f"mutation 'relabel' not applicable: target handle "
+            f"{op.new_handle!r} already live"
+        )
+    if isinstance(op, AddOp):
+        graph_id = database.insert(op.graph)
+        handle_to_id[op.handle] = graph_id
+        id_to_handle[graph_id] = op.handle
+        ack = {"op": op.op, "handle": op.handle, "graph_id": graph_id}
+    elif isinstance(op, RemoveOp):
+        graph_id = handle_to_id.pop(op.handle)
+        del id_to_handle[graph_id]
+        database.remove(graph_id)
+        ack = {"op": op.op, "handle": op.handle, "graph_id": graph_id}
+    else:
+        assert isinstance(op, RelabelOp)
+        old_id = handle_to_id.pop(op.handle)
+        relabeled = relabeled_copy(
+            database.get(old_id), op.vertex_index, op.label, op.new_handle
+        )
+        del id_to_handle[old_id]
+        database.remove(old_id)
+        new_id = database.insert(relabeled)
+        handle_to_id[op.new_handle] = new_id
+        id_to_handle[new_id] = op.new_handle
+        ack = {
+            "op": op.op,
+            "handle": op.handle,
+            "new_handle": op.new_handle,
+            "graph_id": new_id,
+        }
+    ack["database_size"] = len(database)
+    return ack

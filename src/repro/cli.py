@@ -220,6 +220,62 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import QueryServer, ServerConfig
+
+    if args.database:
+        database = load_database(args.database)
+    else:
+        from repro.datasets.synthetic import make_workload
+
+        workload = make_workload(
+            n_graphs=args.synthetic, query_size=6, seed=args.seed
+        )
+        database = GraphDatabase.from_graphs(
+            workload.database, name="synthetic"
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        shards=args.shards,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        max_watches=args.max_watches,
+        token=args.token,
+    )
+    server = QueryServer(database, config)
+
+    async def _serve() -> None:
+        await server.start()
+        # Printed after the bind so scripts (and the CI smoke test) can
+        # wait for the line, then read the ephemeral port from it.
+        print(f"serving {len(server.database)} graphs on {server.url}",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    print("server stopped", flush=True)
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.graph.statistics import collection_statistics, describe_graph
 
@@ -312,6 +368,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--mutant-fraction", type=float, default=0.5)
     p_gen.add_argument("--seed", type=int, default=7)
     p_gen.set_defaults(handler=_cmd_generate)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the HTTP query service over a database "
+             "(see repro.server)",
+    )
+    p_srv.add_argument("database", nargs="?", default=None,
+                       help="database JSON file (omit for --synthetic)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8765,
+                       help="TCP port; 0 binds an ephemeral port and "
+                            "prints it (default: 8765)")
+    p_srv.add_argument("--backend", default="memory",
+                       choices=available_backends(),
+                       help="default execution backend; per-request "
+                            "override via ?backend= (default: memory)")
+    p_srv.add_argument("--shards", type=int, default=None,
+                       help="partition the database across N shards")
+    p_srv.add_argument("--max-concurrency", type=int, default=4,
+                       help="queries evaluating simultaneously (default: 4)")
+    p_srv.add_argument("--max-queue", type=int, default=16,
+                       help="admitted-but-waiting requests beyond the "
+                            "active ones; extra requests get 429 "
+                            "(default: 16)")
+    p_srv.add_argument("--deadline-ms", type=int, default=30_000,
+                       help="default per-query deadline; 0 disables "
+                            "(default: 30000)")
+    p_srv.add_argument("--max-watches", type=int, default=32,
+                       help="open watch streams accepted (default: 32)")
+    p_srv.add_argument("--token", default=None,
+                       help="require 'Authorization: Bearer <token>' on "
+                            "every endpoint except /v1/health")
+    p_srv.add_argument("--synthetic", type=int, default=24,
+                       help="without a database file, serve a synthetic "
+                            "workload of N graphs (default: 24)")
+    p_srv.add_argument("--seed", type=int, default=7,
+                       help="synthetic workload seed (default: 7)")
+    p_srv.set_defaults(handler=_cmd_serve)
 
     p_desc = sub.add_parser("describe", help="database statistics")
     p_desc.add_argument("database")

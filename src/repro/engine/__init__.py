@@ -22,7 +22,12 @@ candidate loop. The pieces compose freely:
   :class:`FrontierMerge` gather consumers behind the ``sharded``
   backend (:mod:`repro.engine.scatter`);
 * :class:`LiveView` — a materialized skyline kept incrementally correct
-  under database mutation (``Session.watch``).
+  under database mutation (``Session.watch``);
+* deadlines — :func:`deadline_scope` makes a :class:`Deadline` ambient
+  for every run inside it; the engine checks it cooperatively once per
+  candidate and raises :class:`~repro.errors.DeadlineExceeded`
+  (:mod:`repro.engine.deadline`, the hook ``repro.server`` cancels
+  expired queries through).
 
 :func:`run_plan` drives a plan; soundness of every cascade stage (a
 pruned candidate never appears in the exhaustive answer) is
@@ -52,6 +57,7 @@ from repro.engine.evaluate import (
     shutdown_pool,
 )
 from repro.engine.core import RunContext, make_context, run_plan
+from repro.engine.deadline import Deadline, current_deadline, deadline_scope
 from repro.engine.scatter import (
     FrontierMerge,
     MergeConsumer,
@@ -84,6 +90,9 @@ __all__ = [
     "RunContext",
     "make_context",
     "run_plan",
+    "Deadline",
+    "current_deadline",
+    "deadline_scope",
     "FrontierMerge",
     "MergeConsumer",
     "ShardedSource",

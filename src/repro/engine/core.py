@@ -35,6 +35,7 @@ from repro.measures.base import (
 )
 from repro.api.spec import GraphQuery
 from repro.engine.consume import finish_distances, finish_vectors
+from repro.engine.deadline import Deadline, current_deadline
 from repro.engine.evaluate import Evaluator, SerialEvaluator
 from repro.engine.plan import EvaluationPlan, Stage
 
@@ -76,6 +77,10 @@ class RunContext:
     names: tuple[str, ...]
     measure_specs: tuple[object, ...] | None
     cache: "PairCache | None"
+    #: Cooperative cancellation hook (see :mod:`repro.engine.deadline`):
+    #: the engine loop and deferring evaluators call ``deadline.check()``
+    #: between exact evaluations and stop the run once it has passed.
+    deadline: Deadline | None = None
     stats: QueryStats = field(default_factory=QueryStats)
     #: Graph ids a candidate source soundly removed in one batched pass
     #: *before* the cascade (e.g. the vectorized threshold pre-filter).
@@ -113,6 +118,7 @@ def make_context(
         names=measure_names(measures),
         measure_specs=measure_specs,
         cache=cache,
+        deadline=current_deadline(),
         stats=QueryStats(database_size=len(database)),
     )
 
@@ -148,8 +154,11 @@ def run_plan(
         for stage in stages:
             stage.observe(graph_id, values)
 
+    deadline = ctx.deadline
     with PhaseTimer(stats, "evaluate"):
         for candidate in candidates:
+            if deadline is not None:
+                deadline.check()
             stats.candidates_considered += 1
             verdict: "str | tuple[float, ...] | None" = None
             for stage in stages:

@@ -332,7 +332,16 @@ class PooledEvaluator(Evaluator):
                 for chunk in self.chunk(pairs)
             ]
         results: list[tuple[int, tuple[float, ...]]] = []
-        for future in futures:
-            results.extend(future.result())
+        try:
+            for future in futures:
+                if ctx.deadline is not None:
+                    ctx.deadline.check()
+                results.extend(future.result())
+        except BaseException:
+            # An expired deadline (or any drain failure) must not leave
+            # orphaned chunks burning pool workers for a dead query.
+            for future in futures:
+                future.cancel()
+            raise
         results.sort()
         return results

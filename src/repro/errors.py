@@ -72,3 +72,14 @@ class DatasetError(ReproError, ValueError):
 
 class SerializationError(ReproError, ValueError):
     """A graph payload could not be (de)serialized."""
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A query's deadline expired before evaluation finished.
+
+    Raised cooperatively by the staged engine (once per candidate, and
+    between pooled-evaluator chunks) when the ambient
+    :class:`repro.engine.deadline.Deadline` has passed — the run stops,
+    partial state is discarded, and the caller (e.g. ``repro.server``)
+    maps this to a structured timeout error.
+    """

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.api.backends import ExecutionBackend, IndexedBackend, MemoryBackend
+from repro.api.ops import applicable, apply_mutation
 from repro.api.parallel import ParallelBackend
 from repro.api.session import Session
 from repro.api.spec import GraphQuery
@@ -321,38 +322,26 @@ class WorkloadRunner:
         return None
 
     def _apply_mutation(self, index: int, step: Step, report: RunReport):
+        # Mutation steps ARE shared ops (repro.api.ops): the database
+        # side applies through the same code path the server's mutate
+        # endpoint uses; only the oracle mirroring is testkit-specific.
+        # Steps the op layer would reject are *skipped* (counted, not
+        # failed) so any workload subsequence stays replayable.
+        if not applicable(step, self._handle_to_id):
+            report.skipped += 1
+            return None
+        apply_mutation(
+            self.database, step, self._handle_to_id, self._id_to_handle
+        )
         if isinstance(step, AddGraph):
-            if step.handle in self.oracle:
-                report.skipped += 1
-                return None
-            graph_id = self.database.insert(step.graph)
             self.oracle.add(step.handle, step.graph)
-            self._handle_to_id[step.handle] = graph_id
-            self._id_to_handle[graph_id] = step.handle
         elif isinstance(step, RemoveGraph):
-            if step.handle not in self.oracle:
-                report.skipped += 1
-                return None
-            graph_id = self._handle_to_id.pop(step.handle)
-            del self._id_to_handle[graph_id]
-            self.database.remove(graph_id)
             self.oracle.remove(step.handle)
-        else:  # RelabelGraph
+        else:
             assert isinstance(step, RelabelGraph)
-            if step.handle not in self.oracle or step.new_handle in self.oracle:
-                report.skipped += 1
-                return None
-            old_id = self._handle_to_id.pop(step.handle)
-            relabeled = self.database.get(old_id).copy(name=step.new_handle)
-            vertex = relabeled.vertices()[step.vertex_index % relabeled.order]
-            relabeled.relabel_vertex(vertex, step.label)
-            del self._id_to_handle[old_id]
-            self.database.remove(old_id)
             self.oracle.remove(step.handle)
-            new_id = self.database.insert(relabeled)
-            self.oracle.add(step.new_handle, relabeled)
-            self._handle_to_id[step.new_handle] = new_id
-            self._id_to_handle[new_id] = step.new_handle
+            new_id = self._handle_to_id[step.new_handle]
+            self.oracle.add(step.new_handle, self.database.get(new_id))
         report.mutations += 1
         return self._check_integrity(index, step)
 

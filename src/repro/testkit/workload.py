@@ -26,12 +26,19 @@ import random
 from dataclasses import dataclass
 from typing import Any, ClassVar
 
+from repro.api.ops import (
+    AddOp,
+    MUTATION_OPS,
+    RelabelOp,
+    RemoveOp,
+    mutation_from_dict,
+    relabeled_copy,
+)
 from repro.api.spec import GraphQuery
 from repro.datasets.synthetic import ATOMS, BONDS, molecule_like_graph
 from repro.errors import SerializationError
 from repro.graph.generators import mutate
 from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.serialization import graph_from_dict, graph_to_dict
 
 from repro.api.backends import _numpy_available
 
@@ -80,20 +87,13 @@ class Step:
 
 
 @dataclass(frozen=True)
-class AddGraph(Step):
-    """Insert ``graph`` under the workload-local ``handle``."""
+class AddGraph(AddOp, Step):
+    """Insert ``graph`` under the workload-local ``handle`` (no-op if the
+    handle is already live).
 
-    handle: str
-    graph: LabeledGraph
-
-    op: ClassVar[str] = "add"
-
-    def to_dict(self) -> dict[str, Any]:
-        return {
-            "op": self.op,
-            "handle": self.handle,
-            "graph": graph_to_dict(self.graph),
-        }
+    Fields and wire encoding come from :class:`repro.api.ops.AddOp` —
+    the same payload the server's mutate endpoint accepts.
+    """
 
     def describe(self) -> str:
         return (
@@ -103,45 +103,20 @@ class AddGraph(Step):
 
 
 @dataclass(frozen=True)
-class RemoveGraph(Step):
+class RemoveGraph(RemoveOp, Step):
     """Remove the graph stored under ``handle`` (no-op if not live)."""
-
-    handle: str
-
-    op: ClassVar[str] = "remove"
-
-    def to_dict(self) -> dict[str, Any]:
-        return {"op": self.op, "handle": self.handle}
 
     def describe(self) -> str:
         return f"remove {self.handle}"
 
 
 @dataclass(frozen=True)
-class RelabelGraph(Step):
+class RelabelGraph(RelabelOp, Step):
     """Relabel one vertex of ``handle``'s graph; the relabeled copy
     replaces the original under ``new_handle`` (remove + insert, the
-    database's only update path). No-op if ``handle`` is not live.
-
-    ``vertex_index`` selects a vertex positionally (mod order) so the
-    step stays applicable to any graph.
+    database's only update path). No-op if ``handle`` is not live or
+    ``new_handle`` already is.
     """
-
-    handle: str
-    new_handle: str
-    vertex_index: int
-    label: str
-
-    op: ClassVar[str] = "relabel"
-
-    def to_dict(self) -> dict[str, Any]:
-        return {
-            "op": self.op,
-            "handle": self.handle,
-            "new_handle": self.new_handle,
-            "vertex_index": self.vertex_index,
-            "label": self.label,
-        }
 
     def describe(self) -> str:
         return (
@@ -232,23 +207,38 @@ _STEP_TYPES: dict[str, type[Step]] = {
 }
 
 
+#: Workload step class per shared mutation op name.
+_MUTATION_STEPS: dict[str, type[Step]] = {
+    AddGraph.op: AddGraph,
+    RemoveGraph.op: RemoveGraph,
+    RelabelGraph.op: RelabelGraph,
+}
+assert set(_MUTATION_STEPS) == set(MUTATION_OPS)
+
+
 def step_from_dict(payload: dict[str, Any]) -> Step:
-    """Rebuild one step from its :meth:`Step.to_dict` payload."""
+    """Rebuild one step from its :meth:`Step.to_dict` payload.
+
+    Mutation steps decode through the shared
+    :func:`repro.api.ops.mutation_from_dict`, so the testkit and the
+    server accept (and reject) exactly the same payloads.
+    """
     try:
         op = payload["op"]
         cls = _STEP_TYPES[op]
     except KeyError as exc:
         raise SerializationError(f"malformed workload step: {exc}") from exc
-    if cls is AddGraph:
-        return AddGraph(payload["handle"], graph_from_dict(payload["graph"]))
-    if cls is RemoveGraph:
-        return RemoveGraph(payload["handle"])
-    if cls is RelabelGraph:
+    if op in _MUTATION_STEPS:
+        decoded = mutation_from_dict(payload)
+        if isinstance(decoded, AddOp):
+            return AddGraph(decoded.handle, decoded.graph)
+        if isinstance(decoded, RemoveOp):
+            return RemoveGraph(decoded.handle)
         return RelabelGraph(
-            payload["handle"],
-            payload["new_handle"],
-            payload["vertex_index"],
-            payload["label"],
+            decoded.handle,
+            decoded.new_handle,
+            decoded.vertex_index,
+            decoded.label,
         )
     if cls is RunQuery:
         return RunQuery(GraphQuery.from_dict(payload["query"]), payload["backend"])
@@ -426,12 +416,10 @@ def generate_workload(
         elif roll < 0.39:
             handle = rng.choice(sorted(live))
             new_handle = fresh_handle()
-            relabeled = live.pop(handle).copy(name=new_handle)
-            index = rng.randrange(max(relabeled.order, 1))
+            original = live.pop(handle)
+            index = rng.randrange(max(original.order, 1))
             label = rng.choice(ATOMS)
-            vertex = relabeled.vertices()[index % relabeled.order]
-            relabeled.relabel_vertex(vertex, label)
-            live[new_handle] = relabeled
+            live[new_handle] = relabeled_copy(original, index, label, new_handle)
             steps.append(RelabelGraph(handle, new_handle, index, label))
         elif roll < 0.81:
             kind, backend = combos[combo_cursor % len(combos)]

@@ -145,3 +145,59 @@ def test_module_entry_point_runs_in_subprocess():
     )
     assert completed.returncode == 0
     assert "GSS = ['g1', 'g4', 'g5', 'g7']" in completed.stdout
+
+
+def test_serve_smoke_in_subprocess(paper_files):
+    """``python -m repro serve`` binds, answers a query, exits 0 on
+    SIGINT — the CI smoke path for the serving layer."""
+    import http.client
+    import signal
+    import subprocess
+    import sys
+
+    from repro.api.spec import GraphQuery
+    from repro.datasets import figure3_query
+
+    db_path, _ = paper_files
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", db_path,
+            "--port", "0", "--max-queue", "4", "--deadline-ms", "60000",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert banner.startswith("serving "), banner
+        port = int(banner.strip().rsplit(":", 1)[1])
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        conn.request("GET", "/v1/health")
+        health = json.loads(conn.getresponse().read())
+        assert health["ok"] and health["graphs"] == 7
+
+        spec = GraphQuery(graph=figure3_query(), kind="skyline")
+        conn.request("POST", "/v1/query", body=json.dumps(spec.to_dict()))
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200
+        assert payload["answer"] == ["g1", "g4", "g5", "g7"]
+        conn.close()
+    finally:
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 0, err
+    assert "server stopped" in out
+
+
+def test_serve_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--port", "0", "--shards", "2"])
+    assert args.backend == "memory"
+    assert args.max_concurrency == 4
+    assert args.max_queue == 16
+    assert args.deadline_ms == 30_000
+    assert args.shards == 2
+    assert args.database is None

@@ -39,6 +39,7 @@ def test_examples_directory_complete():
         "dynamic_database.py",
         "live_view.py",
         "sharded.py",
+        "serve_client.py",
     } <= names
 
 
@@ -85,6 +86,13 @@ def test_live_view_example():
     assert "watching: <LiveView" in out
     assert "streaming compounds in:" in out
     assert "view equals a from-scratch re-query: True" in out
+
+
+def test_serve_client_example():
+    out = run_example("serve_client.py")
+    assert "skyline over HTTP (200): ['g1', 'g4', 'g5', 'g7']" in out
+    assert "watch update after insert:" in out
+    assert "server exit code: 0" in out
 
 
 def test_sharded_example():

@@ -1,0 +1,70 @@
+"""Session lifecycle: the context manager releases backend resources.
+
+The serving layer holds sessions open across many requests, so leaks
+here compound; these tests pin the cleanup contract the server relies
+on — ``close()`` is idempotent, the context manager always calls it,
+and the parallel backend's pool-shared payload file disappears with
+the session."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro import GraphDatabase, Query
+from repro.datasets import make_workload
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def database():
+    workload = make_workload(n_graphs=8, query_size=5, seed=13)
+    return GraphDatabase.from_graphs(workload.database), workload.queries[0]
+
+
+def test_session_context_manager_closes(database):
+    db, query = database
+    with repro.connect(db) as session:
+        result = session.execute(Query(query).skyline())
+        assert result.ids
+    with pytest.raises(QueryError, match="closed"):
+        session.execute(Query(query).skyline())
+    session.close()  # idempotent
+
+
+def test_session_close_propagates_on_exception(database):
+    db, query = database
+    with pytest.raises(RuntimeError):
+        with repro.connect(db) as session:
+            raise RuntimeError("boom")
+    with pytest.raises(QueryError, match="closed"):
+        session.execute(Query(query).skyline())
+
+
+def test_parallel_session_cleans_payload_file(database):
+    db, query = database
+    with repro.connect(db, backend="parallel", max_workers=2) as session:
+        result = session.execute(Query(query).topk(3, "edit"))
+        assert len(result.ids) == 3
+        payload_path = session.backend._evaluator._payload_path
+        assert payload_path is not None and os.path.exists(payload_path)
+    # closing the session dropped the pool-shared payload file
+    assert session.backend._evaluator._payload_path is None
+    assert not os.path.exists(payload_path)
+
+
+def test_parallel_payload_rolls_over_on_mutation(database):
+    db, query = database
+    db = GraphDatabase.from_graphs(db.graphs())  # private copy to mutate
+    with repro.connect(db, backend="parallel", max_workers=2) as session:
+        session.execute(Query(query).topk(2, "edit"))
+        first = session.backend._evaluator._payload_path
+        db.insert(query.copy(name="fresh"))
+        session.execute(Query(query).topk(2, "edit"))
+        second = session.backend._evaluator._payload_path
+        assert first != second  # version rollover re-wrote the payload
+        assert not os.path.exists(first)
+        assert os.path.exists(second)
+    assert not os.path.exists(second)
