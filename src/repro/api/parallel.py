@@ -3,18 +3,19 @@
 The expensive part of every query kind is the per-graph exact evaluation
 (GED + MCS per pair); the selection step over the resulting vectors is
 negligible. This backend pairs the engine's database-order candidate
-source with a :class:`~repro.engine.evaluate.PooledEvaluator`, which
-fans chunks of work out to a shared
-:class:`concurrent.futures.ProcessPoolExecutor` and runs the selection
-serially — so the answer set is identical to ``memory`` by construction
-(and property-tested to be). The database itself crosses the process
-boundary once per ``(database, version)`` through a pool-shared payload
-file; per-chunk tasks carry only graph ids, cutting the serialization
-tax of re-pickling ``LabeledGraph`` objects per chunk per query. With
-``cache=``, cached pairs are served before the fan-out and new vectors
-written back after it, so batching and caching compose.
+source with a :class:`~repro.engine.workers.PooledEvaluator`, which fans
+chunks of work out to the **persistent worker pool**
+(:mod:`repro.engine.workers`) and runs the selection serially — so the
+answer set is identical to ``memory`` by construction (and
+property-tested to be). The database crosses the process boundary as a
+shared-memory attachment written once per database object and kept
+current by version-keyed row deltas; per-chunk tasks carry only graph
+ids, and the long-lived workers keep their materialized payloads warm
+across queries and sessions. With ``cache=``, cached pairs are served
+before the fan-out and new vectors written back after it, so batching
+and caching compose.
 
-The pool-sharing machinery lives in :mod:`repro.engine.evaluate`;
+The pool machinery lives in :mod:`repro.engine.workers`;
 :func:`shutdown_pool` is re-exported here for backward compatibility.
 """
 
@@ -71,8 +72,9 @@ class ParallelBackend(ExecutionBackend):
         return self._evaluator.chunk(list(self.database))
 
     def close(self) -> None:
-        """Drop the pool-shared database payload file (pool stays up)."""
-        self._evaluator.discard_payload()
+        """Release this session's shared-memory attachment (pool stays
+        warm for other sessions; :func:`shutdown_pool` stops it)."""
+        self._evaluator.release()
 
     def build_plan(self, spec: GraphQuery) -> EvaluationPlan:
         return EvaluationPlan(

@@ -190,6 +190,11 @@ class ResultSet:
             payload["stats"]["per_shard"] = [
                 dict(row) for row in self.stats.per_shard
             ]
+        if self.stats.pool is not None:
+            payload["stats"]["pool"] = {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self.stats.pool.items()
+            }
         if self.cache_info is not None:
             payload["cache"] = dict(self.cache_info)
         if self.refinement is not None:
@@ -207,11 +212,37 @@ class ResultSet:
         lines = [self.plan.describe(), self.stats.summary()]
         if self.stats.per_shard is not None:
             for row in self.stats.per_shard:
-                lines.append(
+                line = (
                     "  shard {shard}: size={size} candidates={candidates} "
                     "pruned={pruned} evaluated={evaluated} "
                     "served={served}".format(**row)
                 )
+                if "chunks" in row:
+                    attach = ",".join(
+                        f"{kind}:{count}"
+                        for kind, count in sorted(row.get("attach", {}).items())
+                    )
+                    line += (
+                        f" pool(attach={attach or 'none'}"
+                        f" chunks={row['chunks']} waves={row.get('waves', 0)}"
+                        f" frontier_pruned={row.get('frontier_pruned', 0)}"
+                        f" published={row.get('published', 0)})"
+                    )
+                lines.append(line)
+        if self.stats.pool is not None:
+            pool = self.stats.pool
+            attach = ",".join(
+                f"{kind}:{count}"
+                for kind, count in sorted(pool.get("attach", {}).items())
+            )
+            lines.append(
+                f"worker pool: workers={pool.get('workers', 0)} "
+                f"attach={attach or 'none'} chunks={pool.get('chunks', 0)} "
+                f"waves={pool.get('waves', 0)} "
+                f"frontier_pruned={pool.get('frontier_pruned', 0)} "
+                f"published={pool.get('published', 0)} "
+                f"respawns={pool.get('respawns', 0)}"
+            )
         if self.cache_info is not None:
             pins = ""
             if "pinned" in self.cache_info:

@@ -31,6 +31,17 @@ class QueryStats:
     #: ``candidates``, ``pruned``, ``evaluated``, ``served``), in shard
     #: order, empty shards included. ``None`` for monolithic runs.
     per_shard: list[dict[str, int]] | None = None
+    #: Persistent worker-pool telemetry (``None`` for serial runs):
+    #: ``workers``, ``attach`` (per-kind counts — ``warm``/``delta``/
+    #: ``cold`` for the parent-side shared-memory attachment, ``broken``
+    #: when tasks shipped graphs inline, ``serial`` for the in-process
+    #: fallback, plus ``worker-cold``/``worker-delta`` when a worker had
+    #: to materialize), ``chunks`` shipped, ``waves`` drained,
+    #: ``frontier_pruned`` (candidates eliminated by shared exact
+    #: vectors instead of evaluation), ``published`` (vectors workers
+    #: posted to the shared frontier), ``respawns`` (worker deaths
+    #: recovered during this query).
+    pool: dict[str, object] | None = None
 
     @property
     def pruning_ratio(self) -> float:
@@ -54,9 +65,23 @@ class QueryStats:
         sharded = (
             f" shards={len(self.per_shard)}" if self.per_shard is not None else ""
         )
+        pool = ""
+        if self.pool is not None:
+            attach = ",".join(
+                f"{kind}:{count}"
+                for kind, count in sorted(self.pool.get("attach", {}).items())
+            )
+            pool = (
+                f" pool[workers={self.pool.get('workers', 0)}"
+                f" attach={attach or 'none'}"
+                f" chunks={self.pool.get('chunks', 0)}"
+                f" waves={self.pool.get('waves', 0)}"
+                f" frontier_pruned={self.pool.get('frontier_pruned', 0)}"
+                f" published={self.pool.get('published', 0)}]"
+            )
         return (
             f"n={self.database_size} evaluated={self.exact_evaluations} "
-            f"pruned={self.pruned_by_index}{batched}{cached}{sharded} "
+            f"pruned={self.pruned_by_index}{batched}{cached}{sharded}{pool} "
             f"skyline={self.skyline_size} [{timings}]"
         )
 

@@ -16,7 +16,10 @@ candidate loop. The pieces compose freely:
   :class:`~repro.db.cache.PairCache`); custom :class:`Stage`
   implementations plug in alongside;
 * evaluators — :class:`SerialEvaluator` (interleaved, feeds the bound
-  stages) and :class:`PooledEvaluator` (chunked process-pool batching);
+  stages) and :class:`PooledEvaluator` (chunked batching on the
+  persistent shared-memory worker pool, :mod:`repro.engine.workers`,
+  drained in bound-ordered waves against a shared exact-vector
+  frontier);
 * scatter-gather — :class:`ShardedSource` (per-shard candidate sources
   over shard-local indexes) plus the :class:`SkylineMerge` /
   :class:`FrontierMerge` gather consumers behind the ``sharded``
@@ -50,9 +53,16 @@ from repro.engine.plan import (
 )
 from repro.engine.evaluate import (
     Evaluator,
-    PooledEvaluator,
     SerialEvaluator,
     pair_values,
+)
+from repro.engine.workers import (
+    BoundSharing,
+    PooledEvaluator,
+    WorkerPool,
+    WorkerPoolError,
+    get_pool,
+    live_segments,
     shared_pool,
     shutdown_pool,
 )
@@ -85,6 +95,11 @@ __all__ = [
     "PooledEvaluator",
     "SerialEvaluator",
     "pair_values",
+    "BoundSharing",
+    "WorkerPool",
+    "WorkerPoolError",
+    "get_pool",
+    "live_segments",
     "shared_pool",
     "shutdown_pool",
     "RunContext",

@@ -180,6 +180,15 @@ def run_plan(
         for graph_id, values in evaluator.drain(ctx):
             stats.exact_evaluations += 1
             record(graph_id, values)
+        # A deferring evaluator may prune while draining (shared-frontier
+        # checks against exact vectors other workers/shards published);
+        # those ids were eliminated without evaluation, exactly like
+        # cascade prunes, and the invariants (pruned ∪ evaluated partition
+        # the considered candidates) must keep holding.
+        deferred_pruned = list(evaluator.drained_pruned_ids())
+        if deferred_pruned:
+            stats.pruned_by_index += len(deferred_pruned)
+            pruned_ids.extend(deferred_pruned)
 
     if ctx.vector_kind:
         vectors = {

@@ -7,32 +7,34 @@ pruning cascade and produces their exact measure vectors, either
 * immediately (:class:`SerialEvaluator`) — each vector is returned to the
   engine loop right away, which is what lets feedback-driven stages
   (Pareto pruning, the top-k cutoff) tighten as the scan progresses; or
-* deferred (:class:`PooledEvaluator`) — candidates accumulate and are
-  solved in chunks on a process-wide worker pool, traded against stage
-  feedback (bound stages see no exact vectors mid-scan and so prune
-  nothing; cached-pair serving and write-back still apply).
+* deferred (``PooledEvaluator``) — candidates accumulate and are solved
+  in chunks on the **persistent worker pool**
+  (:mod:`repro.engine.workers`): long-lived processes holding
+  shared-memory database attachments, drained in bound-ordered waves
+  with a shared best-so-far frontier, so deferral no longer forfeits
+  bound-stage pruning.
 
-Workers receive measure *specs* (registry names when possible), not live
-objects, so nothing unpicklable crosses the process boundary in the
-common case. The pool is shared process-wide per worker count and created
-lazily; :func:`shutdown_pool` tears every pool down, and an ``atexit``
-hook does so at interpreter exit.
+A deferring evaluator may also *prune* while draining (frontier checks
+against exact vectors published by other workers/shards);
+:meth:`Evaluator.drained_pruned_ids` reports those ids so the engine
+counts them exactly like cascade prunes.
+
+The pool machinery lives in :mod:`repro.engine.workers`; its public
+names (``PooledEvaluator``, ``shared_pool``, ``shutdown_pool``, …) are
+re-exported here lazily (module ``__getattr__``) for backward
+compatibility without an import cycle — :mod:`repro.engine.workers`
+imports this module's :class:`Evaluator` and :func:`pair_values` at the
+top level, this module never imports it until one of those names is
+actually touched.
 """
 
 from __future__ import annotations
 
 import abc
-import atexit
-import os
-import pickle
-import tempfile
-import uuid
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
 from repro.graph.labeled_graph import LabeledGraph
-from repro.measures.base import DistanceMeasure, PairContext, resolve_measures
+from repro.measures.base import DistanceMeasure, PairContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.core import RunContext
@@ -49,130 +51,6 @@ def pair_values(
     return tuple(measure.distance(graph, query, context) for measure in measures)
 
 
-# ----------------------------------------------------------------------
-# Shared process pools
-# ----------------------------------------------------------------------
-_POOLS: dict[int, ProcessPoolExecutor] = {}
-
-
-def shared_pool(max_workers: int) -> ProcessPoolExecutor:
-    """The process-wide worker pool for ``max_workers``.
-
-    Pools are cached per size so sessions with different worker counts
-    coexist — tearing one down to resize would cancel in-flight work of
-    unrelated sessions.
-    """
-    pool = _POOLS.get(max_workers)
-    if pool is None:
-        pool = _POOLS[max_workers] = ProcessPoolExecutor(max_workers=max_workers)
-    return pool
-
-
-def shutdown_pool() -> None:
-    """Tear down every shared worker pool (no-op when none started)."""
-    while _POOLS:
-        _, pool = _POOLS.popitem()
-        pool.shutdown(wait=True, cancel_futures=True)
-
-
-atexit.register(shutdown_pool)
-
-
-def _resolve_worker_measures(
-    measure_specs: tuple[object, ...] | None,
-) -> tuple[DistanceMeasure, ...]:
-    from repro.measures.base import default_measures
-
-    return (
-        default_measures()
-        if measure_specs is None
-        else resolve_measures(measure_specs)
-    )
-
-
-def _evaluate_chunk(
-    pairs: list[tuple[int, LabeledGraph]],
-    query: LabeledGraph,
-    measure_specs: tuple[object, ...] | None,
-) -> list[tuple[int, tuple[float, ...]]]:
-    """Worker: exact measure vectors for one chunk of shipped graphs.
-
-    Fallback path — used only when the shared database payload could not
-    be written (see :meth:`PooledEvaluator._ensure_payload`); chunks then
-    carry full pickled graphs, the pre-optimization wire format.
-    """
-    measures = _resolve_worker_measures(measure_specs)
-    return [
-        (graph_id, pair_values(graph, query, measures)) for graph_id, graph in pairs
-    ]
-
-
-# Worker-side cache of database payloads, keyed by payload token. Each
-# worker process deserializes a given database *version* once, no matter
-# how many chunks of how many queries it then evaluates — per-chunk tasks
-# carry only graph ids. Bounded so long-lived pools serving many
-# databases do not accumulate dead payloads.
-_WORKER_PAYLOADS: "OrderedDict[str, dict[int, LabeledGraph]]" = OrderedDict()
-_WORKER_PAYLOAD_LIMIT = 4
-
-
-def _worker_payload(token: str, path: str) -> dict[int, LabeledGraph]:
-    graphs = _WORKER_PAYLOADS.get(token)
-    if graphs is None:
-        with open(path, "rb") as handle:
-            graphs = pickle.load(handle)
-        _WORKER_PAYLOADS[token] = graphs
-        while len(_WORKER_PAYLOADS) > _WORKER_PAYLOAD_LIMIT:
-            _WORKER_PAYLOADS.popitem(last=False)
-    else:
-        _WORKER_PAYLOADS.move_to_end(token)
-    return graphs
-
-
-def _evaluate_chunk_by_id(
-    token: str,
-    path: str,
-    graph_ids: list[int],
-    query: LabeledGraph,
-    measure_specs: tuple[object, ...] | None,
-) -> list[tuple[int, tuple[float, ...]]]:
-    """Worker: exact vectors for one chunk of graph *ids*.
-
-    The graphs come from the pool-shared payload file — the chunk task
-    itself serializes a handful of integers instead of re-pickling
-    ``LabeledGraph`` objects per chunk per query.
-    """
-    graphs = _worker_payload(token, path)
-    measures = _resolve_worker_measures(measure_specs)
-    return [
-        (graph_id, pair_values(graphs[graph_id], query, measures))
-        for graph_id in graph_ids
-    ]
-
-
-# Payload files written by this (parent) process, for atexit cleanup.
-_PAYLOAD_FILES: set[str] = set()
-
-
-def _remove_payload_file(path: str) -> None:
-    _PAYLOAD_FILES.discard(path)
-    try:
-        os.remove(path)
-    except OSError:
-        pass
-
-
-def _cleanup_payload_files() -> None:
-    for path in list(_PAYLOAD_FILES):
-        _remove_payload_file(path)
-
-
-atexit.register(_cleanup_payload_files)
-
-
-# ----------------------------------------------------------------------
-# Evaluators
-# ----------------------------------------------------------------------
 class Evaluator(abc.ABC):
     """Solves cascade survivors exactly; see the module docstring."""
 
@@ -192,6 +70,15 @@ class Evaluator(abc.ABC):
         """Deferred results, in ascending id order (empty when interleaved)."""
         return []
 
+    def drained_pruned_ids(self) -> "list[int] | tuple[int, ...]":
+        """Ids the last :meth:`drain` soundly pruned instead of solving.
+
+        The engine counts them as index prunes (they were eliminated by
+        exact vectors of other graphs, never evaluated). Interleaved
+        evaluators never prune, hence the empty default.
+        """
+        return ()
+
 
 class SerialEvaluator(Evaluator):
     """Solve each pair in the scanning thread, immediately."""
@@ -203,145 +90,28 @@ class SerialEvaluator(Evaluator):
         return pair_values(graph, ctx.spec.graph, ctx.measures)
 
 
-class PooledEvaluator(Evaluator):
-    """Accumulate survivors and solve them in chunks on the shared pool.
+#: Names living in :mod:`repro.engine.workers`, importable from here for
+#: backward compatibility (tests and backends predate the split).
+_WORKER_NAMES = (
+    "PooledEvaluator",
+    "PersistentPoolEvaluator",
+    "WorkerPool",
+    "WorkerPoolError",
+    "BoundSharing",
+    "get_pool",
+    "shared_pool",
+    "shutdown_pool",
+    "live_segments",
+)
 
-    The database crosses the process boundary through a **pool-shared
-    payload file**, written once per ``(database, version)`` and cached
-    on the worker side by token — per-chunk tasks then carry graph *ids*
-    only, instead of re-pickling every ``LabeledGraph`` for every chunk
-    of every query. Mutating the database bumps its version and lazily
-    rolls the payload over; if the payload cannot be written at all
-    (read-only temp dir), chunks fall back to shipping the graphs
-    directly, the pre-optimization wire format.
 
-    Parameters
-    ----------
-    max_workers:
-        Pool size (default: ``os.cpu_count()``).
-    chunk_size:
-        Graphs per task; ``None`` auto-sizes to ~4 chunks per worker so
-        uneven per-pair costs still balance.
-    """
+def __getattr__(name: str):
+    if name in _WORKER_NAMES:
+        from repro.engine import workers
 
-    interleaved = False
+        return getattr(workers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    def __init__(
-        self, max_workers: int | None = None, chunk_size: int | None = None
-    ) -> None:
-        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
-        self.chunk_size = chunk_size
-        self._pending: list[int] = []
-        self._payload_database: object | None = None
-        self._payload_version: int | None = None
-        self._payload_token: str | None = None
-        self._payload_path: str | None = None
-        self._payload_broken = False
 
-    def begin(self, ctx) -> None:
-        self._pending = []
-
-    def evaluate(self, ctx, candidate):
-        self._pending.append(candidate.graph_id)
-        return None
-
-    def chunk(self, pairs: list) -> list[list]:
-        """Split work items into pool tasks (auto-sized unless fixed)."""
-        if not pairs:
-            return []
-        size = self.chunk_size
-        if size is None:
-            size = max(1, -(-len(pairs) // (self.max_workers * 4)))
-        return [pairs[i : i + size] for i in range(0, len(pairs), size)]
-
-    # -- pool-shared database payload -----------------------------------
-    def _ensure_payload(self, ctx) -> tuple[str, str] | None:
-        """``(token, path)`` of the current database payload, or ``None``.
-
-        Re-written only when the database object or its version changed;
-        repeated queries against an unmutated database re-use the file
-        (and the worker-side deserialization it already paid for).
-        """
-        database = ctx.database
-        if (
-            self._payload_database is database
-            and self._payload_version == database.version
-        ):
-            return self._payload_token, self._payload_path
-        if self._payload_broken:
-            return None
-        graphs = {graph_id: graph for graph_id, graph in database}
-        path = None
-        try:
-            handle, path = tempfile.mkstemp(
-                prefix="repro-pool-db-", suffix=".pickle"
-            )
-            with os.fdopen(handle, "wb") as stream:
-                pickle.dump(graphs, stream, protocol=pickle.HIGHEST_PROTOCOL)
-        except OSError:
-            # Latch off for this evaluator (retrying a full-database dump
-            # per drain could be expensive); drop any half-written file.
-            self._payload_broken = True
-            if path is not None:
-                _remove_payload_file(path)
-            return None
-        self.discard_payload()
-        self._payload_database = database
-        self._payload_version = database.version
-        self._payload_token = uuid.uuid4().hex
-        self._payload_path = path
-        _PAYLOAD_FILES.add(path)
-        return self._payload_token, self._payload_path
-
-    def discard_payload(self) -> None:
-        """Drop the payload file (called on rollover and backend close)."""
-        if self._payload_path is not None:
-            _remove_payload_file(self._payload_path)
-        self._payload_database = None
-        self._payload_version = None
-        self._payload_token = None
-        self._payload_path = None
-
-    def drain(self, ctx):
-        pending, self._pending = self._pending, []
-        if not pending:
-            return []
-        pool = shared_pool(self.max_workers)
-        payload = self._ensure_payload(ctx)
-        if payload is not None:
-            token, path = payload
-            futures = [
-                pool.submit(
-                    _evaluate_chunk_by_id,
-                    token,
-                    path,
-                    chunk,
-                    ctx.spec.graph,
-                    ctx.measure_specs,
-                )
-                for chunk in self.chunk(pending)
-            ]
-        else:
-            pairs = [
-                (graph_id, ctx.database.get(graph_id)) for graph_id in pending
-            ]
-            futures = [
-                pool.submit(
-                    _evaluate_chunk, chunk, ctx.spec.graph, ctx.measure_specs
-                )
-                for chunk in self.chunk(pairs)
-            ]
-        results: list[tuple[int, tuple[float, ...]]] = []
-        try:
-            for future in futures:
-                if ctx.deadline is not None:
-                    ctx.deadline.check()
-                results.extend(future.result())
-        except BaseException:
-            # An expired deadline (or any drain failure) must not leave
-            # orphaned chunks burning pool workers for a dead query.
-            for future in futures:
-                future.cancel()
-            raise
-        results.sort()
-        return results
+def __dir__() -> list[str]:
+    return sorted(list(globals()) + list(_WORKER_NAMES))

@@ -97,6 +97,7 @@ class ShardedSource(CandidateSource):
         self.use_index = use_index
         self._vectorized = _numpy_available()
         self._sources: dict[int, CandidateSource] = {}
+        self._stores: dict[int, object] = {}
 
     def shard_source(self, index: int) -> CandidateSource:
         """The candidate source bound to shard ``index``."""
@@ -107,6 +108,7 @@ class ShardedSource(CandidateSource):
                 from repro.index import FeatureStore, IndexedSource
 
                 store = FeatureStore(shard)
+                self._stores[index] = store
                 source = IndexedSource(
                     lambda store=store: store, prefilter=self.use_index
                 )
@@ -114,6 +116,13 @@ class ShardedSource(CandidateSource):
                 source = BoundOrderedSource(_ShardIndexProvider(shard))
             self._sources[index] = source
         return source
+
+    def shard_store(self, index: int):
+        """Shard ``index``'s :class:`~repro.index.store.FeatureStore`
+        (``None`` on the scalar fallback path) — the worker pool exports
+        its SignatureMatrix to shared memory from here."""
+        self.shard_source(index)
+        return self._stores.get(index)
 
     def candidates(self, ctx: "RunContext") -> list[Candidate]:
         scattered: list[Candidate] = []
@@ -253,6 +262,7 @@ def merged_stats(
     """
     stats = QueryStats(database_size=len(database))
     breakdown: list[dict[str, int]] = []
+    pool_total: dict[str, object] | None = None
     for index, shard in enumerate(shard_stats):
         row = {
             "shard": index,
@@ -278,6 +288,43 @@ def merged_stats(
                 evaluated=shard.exact_evaluations,
                 served=shard.served_from_cache,
             )
+            if shard.pool is not None:
+                # Pool telemetry rides along per shard and sums globally
+                # (attach kinds merge as per-kind counts; ``workers`` is
+                # a pool property, not additive).
+                row.update(
+                    attach=dict(shard.pool.get("attach", {})),
+                    chunks=shard.pool.get("chunks", 0),
+                    waves=shard.pool.get("waves", 0),
+                    frontier_pruned=shard.pool.get("frontier_pruned", 0),
+                    published=shard.pool.get("published", 0),
+                )
+                if pool_total is None:
+                    pool_total = {
+                        "workers": 0,
+                        "attach": {},
+                        "chunks": 0,
+                        "waves": 0,
+                        "frontier_pruned": 0,
+                        "published": 0,
+                        "respawns": 0,
+                    }
+                pool_total["workers"] = max(
+                    pool_total["workers"], shard.pool.get("workers", 0)
+                )
+                for key in (
+                    "chunks",
+                    "waves",
+                    "frontier_pruned",
+                    "published",
+                    "respawns",
+                ):
+                    pool_total[key] += shard.pool.get(key, 0)
+                for kind, count in shard.pool.get("attach", {}).items():
+                    pool_total["attach"][kind] = (
+                        pool_total["attach"].get(kind, 0) + count
+                    )
         breakdown.append(row)
     stats.per_shard = breakdown
+    stats.pool = pool_total
     return stats

@@ -10,13 +10,18 @@ Execution is the classic distributed decomposition:
 1. **scatter** — one :func:`~repro.engine.core.run_plan` per non-empty
    shard, each over that shard's local candidate source
    (:class:`~repro.engine.scatter.ShardedSource`) and — in parallel mode
-   — its own :class:`~repro.engine.evaluate.PooledEvaluator`, so a pool
-   task ships one *shard's* payload across the process boundary, never
-   the whole database;
+   — its own :class:`~repro.engine.workers.PooledEvaluator` on the
+   persistent worker pool, so a shard's payload is attached in shared
+   memory once and kept current by deltas, never re-shipped per query;
 2. **cross-shard pruning** — the bound stage instance is shared across
    the sequential shard runs: exact vectors observed in shard ``i``
    prune candidates in shards ``i+1..N`` (sound: dominators and rank
-   cutoffs are global facts, wherever the dominating graph lives);
+   cutoffs are global facts, wherever the dominating graph lives). In
+   parallel mode the same channel extends *into* the pool: one
+   :class:`~repro.engine.workers.BoundSharing` per query carries every
+   exact vector drained so far (plus vectors workers publish to the
+   shared-memory frontier mid-chunk) into each shard's wave-based
+   drain, so deferred evaluation no longer forfeits the pruning;
 3. **gather** — :class:`~repro.engine.scatter.SkylineMerge` /
    :class:`~repro.engine.scatter.FrontierMerge` combine the per-shard
    local answers into the global one, property-equal to the monolithic
@@ -39,7 +44,7 @@ from repro.api.backends import (
     _numpy_available,
     register_backend,
 )
-from repro.engine.core import run_plan
+from repro.engine.core import resolved_measures, run_plan
 from repro.engine.evaluate import Evaluator, PooledEvaluator, SerialEvaluator
 from repro.engine.plan import EvaluationPlan, Stage, bound_stage_for
 from repro.engine.scatter import ShardedSource, merge_consumer, merged_stats
@@ -107,9 +112,10 @@ class ShardedBackend(ExecutionBackend):
         return self._shard_evaluator(0).max_workers
 
     def close(self) -> None:
-        """Drop per-shard pool payload files (the pool itself stays up)."""
+        """Release per-shard shared-memory attachments and matrix
+        exports (the persistent pool itself stays warm)."""
         for evaluator in self._evaluators.values():
-            evaluator.discard_payload()
+            evaluator.release()
 
     # -- plan construction -----------------------------------------------
     def _shard_evaluator(self, index: int) -> Evaluator:
@@ -171,6 +177,20 @@ class ShardedBackend(ExecutionBackend):
             stage_labels=self._stage_labels(spec),
         )
 
+    def _query_sharing(self, spec: GraphQuery):
+        """One :class:`~repro.engine.workers.BoundSharing` per parallel
+        pruning query — the deferred-evaluation counterpart of the
+        shared bound stage (``None`` when pruning is off/unsound)."""
+        if not self.parallel or not self._prunes(spec):
+            return None
+        from repro.engine.workers import BoundSharing
+
+        if spec.kind in ("skyline", "skyband"):
+            dims = len(resolved_measures(spec))
+        else:
+            dims = 1
+        return BoundSharing.for_spec(spec, dims, workers=self.max_workers)
+
     # -- execution --------------------------------------------------------
     def run(self, spec: GraphQuery) -> "BackendAnswer":
         spec.validate()
@@ -179,20 +199,35 @@ class ShardedBackend(ExecutionBackend):
         labels = self._stage_labels(spec)
         answers = []
         shard_stats: list = [None] * database.shard_count
-        for index in range(database.shard_count):
-            if not len(database.shards[index]):
-                continue
-            plan = EvaluationPlan(
-                source=self._source.shard_source(index),
-                cascade=cascade,
-                evaluator=self._shard_evaluator(index),
-                stage_labels=labels,
-            )
-            answer = run_plan(
-                database.shards[index], spec, plan, cache=self.cache
-            )
-            shard_stats[index] = answer.stats
-            answers.append(answer)
+        sharing = self._query_sharing(spec)
+        try:
+            for index in range(database.shard_count):
+                if not len(database.shards[index]):
+                    continue
+                evaluator = self._shard_evaluator(index)
+                if sharing is not None and isinstance(
+                    evaluator, PooledEvaluator
+                ):
+                    evaluator.sharing = sharing
+                    evaluator.matrix_source = (
+                        lambda idx=index: self._source.shard_store(idx)
+                    )
+                plan = EvaluationPlan(
+                    source=self._source.shard_source(index),
+                    cascade=cascade,
+                    evaluator=evaluator,
+                    stage_labels=labels,
+                )
+                answer = run_plan(
+                    database.shards[index], spec, plan, cache=self.cache
+                )
+                shard_stats[index] = answer.stats
+                answers.append(answer)
+        finally:
+            if sharing is not None:
+                for evaluator in self._evaluators.values():
+                    evaluator.sharing = None
+                sharing.release()
         stats = merged_stats(database, shard_stats)
         return merge_consumer(spec).merge(spec, answers, stats)
 

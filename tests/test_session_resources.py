@@ -3,18 +3,17 @@
 The serving layer holds sessions open across many requests, so leaks
 here compound; these tests pin the cleanup contract the server relies
 on — ``close()`` is idempotent, the context manager always calls it,
-and the parallel backend's pool-shared payload file disappears with
-the session."""
+and the parallel backend's shared-memory database attachment (and any
+``/dev/shm`` segments behind it) disappears with the session."""
 
 from __future__ import annotations
-
-import os
 
 import pytest
 
 import repro
 from repro import GraphDatabase, Query
 from repro.datasets import make_workload
+from repro.engine.workers import live_segments
 from repro.errors import QueryError
 
 
@@ -43,28 +42,37 @@ def test_session_close_propagates_on_exception(database):
         session.execute(Query(query).skyline())
 
 
-def test_parallel_session_cleans_payload_file(database):
+def test_parallel_session_releases_attachment(database):
     db, query = database
+    before = set(live_segments())
     with repro.connect(db, backend="parallel", max_workers=2) as session:
         result = session.execute(Query(query).topk(3, "edit"))
         assert len(result.ids) == 3
-        payload_path = session.backend._evaluator._payload_path
-        assert payload_path is not None and os.path.exists(payload_path)
-    # closing the session dropped the pool-shared payload file
-    assert session.backend._evaluator._payload_path is None
-    assert not os.path.exists(payload_path)
+        assert result.stats.pool is not None
+        # The drain parked a database attachment on the pool.
+        assert session.backend._evaluator._attachment_key is not None
+    # Closing the session released it: no attachment reference, and no
+    # shared-memory segment this session created is still alive.
+    assert session.backend._evaluator._attachment_key is None
+    assert set(live_segments()) <= before
 
 
-def test_parallel_payload_rolls_over_on_mutation(database):
+def test_parallel_mutation_ships_delta_not_rollover(database):
     db, query = database
     db = GraphDatabase.from_graphs(db.graphs())  # private copy to mutate
     with repro.connect(db, backend="parallel", max_workers=2) as session:
-        session.execute(Query(query).topk(2, "edit"))
-        first = session.backend._evaluator._payload_path
+        first = session.execute(Query(query).topk(2, "edit"))
+        assert first.stats.pool["attach"].get("cold") == 1
+        pool = session.backend._evaluator._pool
+        attachment = pool._attachments[id(db)]
+        assert attachment.delta_count == 0
         db.insert(query.copy(name="fresh"))
-        session.execute(Query(query).topk(2, "edit"))
-        second = session.backend._evaluator._payload_path
-        assert first != second  # version rollover re-wrote the payload
-        assert not os.path.exists(first)
-        assert os.path.exists(second)
-    assert not os.path.exists(second)
+        second = session.execute(Query(query).topk(2, "edit"))
+        # The mutation shipped a row-level delta, not a full payload.
+        assert second.stats.pool["attach"].get("delta") == 1
+        assert attachment.delta_count == 1
+        assert attachment.version == db.version
+        third = session.execute(Query(query).topk(2, "edit"))
+        assert third.stats.pool["attach"].get("warm") == 1
+    # Session close dropped the attachment (and its blobs) from the pool.
+    assert id(db) not in pool._attachments

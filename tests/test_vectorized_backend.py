@@ -137,42 +137,51 @@ def test_cache_composes_with_vectorized_plan(random_database, paper_query):
 
 
 # ----------------------------------------------------------------------
-# Pool-shared database payload (parallel serialization tax)
+# Pool-shared database attachment (parallel serialization tax)
 # ----------------------------------------------------------------------
-def test_pooled_payload_reused_until_mutation(random_database, paper_query):
+def test_pooled_attachment_warm_until_mutation_then_delta(
+    random_database, paper_query
+):
     spec = Query(paper_query).skyline().build()
     with repro.connect(
         random_database, backend="parallel", max_workers=2
     ) as session:
         first = session.execute(spec)
-        evaluator = session.backend._evaluator
-        path_before = evaluator._payload_path
-        assert path_before is not None
+        # First drain parks the database on the persistent pool.
+        assert first.stats.pool["attach"].get("cold") == 1
         second = session.execute(spec)
-        # Unmutated database: the same payload file served both queries.
-        assert evaluator._payload_path == path_before
+        # Unmutated database: the same attachment served both queries.
+        assert second.stats.pool["attach"].get("warm") == 1
         random_database.insert(make_random_graph(55))
         third = session.execute(spec)
-        assert evaluator._payload_path != path_before
-    # close() dropped the payload; answers stayed parity-correct throughout.
-    assert evaluator._payload_path is None
+        # Mutation shipped a row-level delta, not a full re-park.
+        assert third.stats.pool["attach"].get("delta") == 1
+    # close() released the attachment; answers stayed parity-correct.
+    assert session.backend._evaluator._attachment_key is None
     reference = _reference(random_database, lambda: Query(paper_query).skyline())
     assert third.ids == reference.ids
     assert first.ids == second.ids
 
 
-def test_pooled_payload_write_failure_falls_back(random_database, paper_query, monkeypatch):
+def test_pooled_attachment_write_failure_ships_inline(
+    random_database, paper_query, monkeypatch
+):
     import tempfile
+
+    from repro.engine import workers
 
     def broken_mkstemp(*args, **kwargs):
         raise OSError("no temp space")
 
+    # Disable both blob transports: no shared memory and no temp files.
+    monkeypatch.setattr(workers, "_SHM_DISABLED", True)
     monkeypatch.setattr(tempfile, "mkstemp", broken_mkstemp)
     spec = Query(paper_query).skyline().build()
     with repro.connect(
         random_database, backend="parallel", max_workers=2
     ) as session:
         result = session.execute(spec)
-        assert session.backend._evaluator._payload_broken
+        # The attachment latched broken; chunks shipped graphs inline.
+        assert result.stats.pool["attach"].get("broken") == 1
     reference = _reference(random_database, lambda: Query(paper_query).skyline())
     assert result.ids == reference.ids
