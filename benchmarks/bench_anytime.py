@@ -1,0 +1,176 @@
+"""Bench A11 — anytime queries under a fixed wall budget.
+
+Before this PR a deadline could not interrupt a single exact evaluation:
+one adversarial pair (here: 12-14-vertex random graphs, exponential
+DF-GED) pinned the worker past any deadline and the query 504'd. The
+anytime path must instead return a certified ``[lower, upper]`` interval
+answer within the budget, every time.
+
+Gates:
+
+* **p99 latency**: over repeated budgeted queries (top-k and skyline)
+  against a database whose slow members each cost seconds to evaluate
+  exactly, the p99 wall time stays under ``LATENCY_CAP`` × the budget —
+  the slack absorbs per-candidate slice granularity and engine overhead,
+  while the un-budgeted path would blow it by orders of magnitude.
+* **Interval soundness**: zero violations of ``lower ≤ exact ≤ upper``
+  across sampled pairs × all four paper measures × node budgets, checked
+  against the exhaustive evaluator.
+
+Numbers land in ``BENCH_anytime.json`` for the CI artifact trail.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import Query
+from repro.bench import render_table
+from repro.db import GraphDatabase
+from repro.graph import Budget
+from repro.graph.generators import random_labeled_graph
+from repro.measures import (
+    EditDistance,
+    GraphUnionDistance,
+    McsDistance,
+    NormalizedEditDistance,
+    PairContext,
+)
+
+N_FAST = 40
+N_SLOW = 8
+BUDGET_MS = 100
+REPEATS = 25
+#: p99 cap as a multiple of the budget (slice granularity + overhead).
+LATENCY_CAP = 5.0
+#: Pairs sampled for the soundness sweep (fast graphs only — the oracle
+#: needs the exact value).
+SOUNDNESS_PAIRS = 12
+NODE_BUDGETS = (1, 10, 100, 10_000)
+OUTPUT = Path(__file__).resolve().parent / "BENCH_anytime.json"
+
+MEASURES = (
+    EditDistance(),
+    NormalizedEditDistance(),
+    McsDistance(),
+    GraphUnionDistance(),
+)
+
+
+@pytest.fixture(scope="module")
+def anytime_setup():
+    fast = [
+        random_labeled_graph(5, 6, vertex_labels=("a", "b"), seed=s)
+        for s in range(N_FAST)
+    ]
+    slow = [
+        random_labeled_graph(12 + s % 3, 22 + s, vertex_labels=("a", "b"), seed=500 + s)
+        for s in range(N_SLOW)
+    ]
+    query = random_labeled_graph(12, 21, vertex_labels=("a", "b"), seed=999)
+    return GraphDatabase.from_graphs(fast + slow), fast, query
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@pytest.mark.benchmark(group="a11-anytime")
+def test_anytime_p99_and_interval_soundness(anytime_setup):
+    database, fast, query = anytime_setup
+    specs = {
+        "topk": Query(query).topk(5).budget(ms=BUDGET_MS),
+        "skyline": Query(query).skyline().budget(ms=BUDGET_MS),
+    }
+
+    rows = []
+    payload = {
+        "workload": {
+            "n_fast": N_FAST,
+            "n_slow": N_SLOW,
+            "budget_ms": BUDGET_MS,
+            "repeats": REPEATS,
+        },
+        "latency_cap_x_budget": LATENCY_CAP,
+        "kinds": {},
+    }
+    with repro.connect(database, backend="memory") as session:
+        session.execute(Query(query).topk(1).budget(ms=50))  # warm imports
+        for kind, spec in specs.items():
+            latencies = []
+            passes = 0
+            open_intervals = 0
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                result = session.execute(spec)
+                latencies.append(time.perf_counter() - start)
+                assert result.intervals is not None
+                passes += result.stats.anytime["passes"]
+                open_intervals += sum(
+                    1
+                    for vector in result.intervals.values()
+                    if any(not interval.settled for interval in vector)
+                )
+            p50 = _percentile(latencies, 0.50)
+            p99 = _percentile(latencies, 0.99)
+            rows.append([
+                kind,
+                round(p50 * 1000, 1),
+                round(p99 * 1000, 1),
+                round(passes / REPEATS, 1),
+                round(open_intervals / REPEATS, 1),
+            ])
+            payload["kinds"][kind] = {
+                "p50_ms": p50 * 1000,
+                "p99_ms": p99 * 1000,
+                "mean_passes": passes / REPEATS,
+                "mean_open_intervals": open_intervals / REPEATS,
+            }
+
+    # Soundness sweep: certified intervals must bracket the exact value
+    # for every sampled pair, measure, and budget.
+    violations = 0
+    checks = 0
+    for index in range(SOUNDNESS_PAIRS):
+        g = fast[(index * 7) % len(fast)]
+        h = fast[(index * 11 + 3) % len(fast)]
+        for measure in MEASURES:
+            exact = measure.distance(g, h, PairContext(g, h))
+            for nodes in NODE_BUDGETS:
+                interval = measure.distance_interval(
+                    g, h, PairContext(g, h), Budget(node_limit=nodes)
+                )
+                checks += 1
+                if not (
+                    interval.lower <= exact + 1e-9
+                    and exact <= interval.upper + 1e-9
+                ):
+                    violations += 1
+    payload["soundness"] = {"checks": checks, "violations": violations}
+
+    print()
+    print(render_table(
+        ["kind", "p50 ms", "p99 ms", "passes/q", "open/q"],
+        rows,
+        title=(
+            f"A11 — anytime queries, budget {BUDGET_MS}ms over "
+            f"{N_FAST + N_SLOW} graphs ({N_SLOW} adversarial); "
+            f"soundness {checks} checks / {violations} violations"
+        ),
+    ))
+    OUTPUT.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+
+    cap = LATENCY_CAP * BUDGET_MS / 1000.0
+    for kind in specs:
+        p99 = payload["kinds"][kind]["p99_ms"] / 1000.0
+        assert p99 <= cap, (
+            f"{kind}: p99 {p99 * 1000:.1f}ms exceeds "
+            f"{LATENCY_CAP}x the {BUDGET_MS}ms budget"
+        )
+    assert violations == 0, f"{violations}/{checks} interval soundness violations"

@@ -76,6 +76,12 @@ class BackendAnswer:
     evaluated graph (pruned ids absent); ``distances`` carries the
     single-measure values for topk/threshold kinds; ``pruned_ids`` are
     the candidates a cascade stage proved irrelevant (never evaluated).
+
+    Anytime (budgeted) runs additionally set ``intervals`` — certified
+    ``[lower, upper]`` :class:`~repro.graph.budget.Interval` vectors per
+    candidate that survived the cascade — and ``approximate``, true when
+    the budget expired with straddling intervals left, i.e. the answer is
+    best-effort rather than certified equal to the exhaustive oracle's.
     """
 
     ids: list[int]
@@ -84,6 +90,8 @@ class BackendAnswer:
     distances: dict[int, float] | None
     stats: QueryStats = field(default_factory=QueryStats)
     pruned_ids: list[int] = field(default_factory=list)
+    intervals: dict[int, tuple] | None = None
+    approximate: bool = False
 
 
 class ExecutionBackend(abc.ABC):

@@ -83,6 +83,16 @@ class ResultSet:
         exact vector the cache replaced — and the query-hash memo's
         ``pinned``/``pin_limit`` occupancy); ``None`` when the backend
         runs uncached.
+    intervals:
+        Anytime (budgeted) runs only: certified ``[lower, upper]``
+        :class:`~repro.graph.budget.Interval` vectors per candidate that
+        survived the cascade. Settled intervals are exact values; open
+        ones bracket the true distance. ``None`` for exact runs.
+    approximate:
+        True when the budget expired before the answer was certified —
+        the answer is then the best-effort selection over certified
+        upper bounds; reported vectors/distances of unsettled candidates
+        are their upper bounds.
     """
 
     spec: GraphQuery
@@ -95,6 +105,8 @@ class ResultSet:
     stats: QueryStats = field(default_factory=QueryStats)
     refinement: DiversityResult | None = None
     cache_info: dict[str, int] | None = None
+    intervals: dict[int, tuple] | None = None
+    approximate: bool = False
 
     # -- answer access --------------------------------------------------
     @property
@@ -195,6 +207,14 @@ class ResultSet:
                 key: (dict(value) if isinstance(value, dict) else value)
                 for key, value in self.stats.pool.items()
             }
+        if self.stats.anytime is not None:
+            payload["stats"]["anytime"] = dict(self.stats.anytime)
+        if self.intervals is not None:
+            payload["approximate"] = self.approximate
+            payload["intervals"] = {
+                str(graph_id): [interval.to_wire() for interval in intervals]
+                for graph_id, intervals in sorted(self.intervals.items())
+            }
         if self.cache_info is not None:
             payload["cache"] = dict(self.cache_info)
         if self.refinement is not None:
@@ -210,6 +230,21 @@ class ResultSet:
     def explain(self) -> str:
         """Human-readable account of the plan, the work, and the answer."""
         lines = [self.plan.describe(), self.stats.summary()]
+        if self.intervals is not None:
+            open_count = sum(
+                1
+                for intervals in self.intervals.values()
+                if any(not interval.settled for interval in intervals)
+            )
+            status = (
+                "approximate — budget expired with straddling intervals"
+                if self.approximate
+                else "certified — intervals decide the exact answer"
+            )
+            lines.append(
+                f"anytime: {status} "
+                f"({open_count}/{len(self.intervals)} intervals left open)"
+            )
         if self.stats.per_shard is not None:
             for row in self.stats.per_shard:
                 line = (

@@ -216,6 +216,8 @@ class Session:
             stats=answer.stats,
             refinement=refinement,
             cache_info=cache_info,
+            intervals=answer.intervals,
+            approximate=answer.approximate,
         )
 
     def watch(self, query: "GraphQuery | Query", cache=None) -> "LiveView":

@@ -71,6 +71,15 @@ class GraphQuery:
         Section-VII diversity refinement of a skyline/skyband answer.
     limit:
         Cap on the number of returned graphs (applied last).
+    budget_ms / budget_nodes:
+        Per-query evaluation budget (wall-clock milliseconds / search-tree
+        expansions per evaluation pass). Setting either opts the query
+        into **anytime** execution: every exact evaluation runs under the
+        budget, candidates carry certified ``[lower, upper]`` intervals,
+        and straddling candidates are refined progressively. With only
+        ``budget_nodes`` the engine refines until every interval settles
+        (the answer is exact); with ``budget_ms`` the answer may come back
+        flagged approximate, over intervals.
     """
 
     graph: LabeledGraph
@@ -85,6 +94,13 @@ class GraphQuery:
     refine_method: str = "exhaustive"
     refine_measures: tuple[Any, ...] | None = None
     limit: int | None = None
+    budget_ms: int | None = None
+    budget_nodes: int | None = None
+
+    @property
+    def anytime(self) -> bool:
+        """Whether this spec opts into budget-aware anytime execution."""
+        return self.budget_ms is not None or self.budget_nodes is not None
 
     # ------------------------------------------------------------------
     # Validation
@@ -144,6 +160,10 @@ class GraphQuery:
                     get_measure(spec)
         if self.limit is not None and self.limit < 1:
             raise QueryError("limit must be at least 1")
+        if self.budget_ms is not None and self.budget_ms < 1:
+            raise QueryError("budget_ms must be at least 1")
+        if self.budget_nodes is not None and self.budget_nodes < 1:
+            raise QueryError("budget_nodes must be at least 1")
         return self
 
     # ------------------------------------------------------------------
@@ -168,6 +188,8 @@ class GraphQuery:
             "refine_method": self.refine_method,
             "refine_measures": _measure_names(self.refine_measures),
             "limit": self.limit,
+            "budget_ms": self.budget_ms,
+            "budget_nodes": self.budget_nodes,
         }
 
     @classmethod
@@ -194,6 +216,8 @@ class GraphQuery:
                 tuple(refine_measures) if refine_measures is not None else None
             ),
             limit=payload.get("limit"),
+            budget_ms=payload.get("budget_ms"),
+            budget_nodes=payload.get("budget_nodes"),
         )
         return spec.validate()
 
@@ -301,6 +325,14 @@ class Query:
     def limit(self, n: int) -> "Query":
         """Cap the number of returned graphs."""
         return self._replace(limit=n)
+
+    def budget(self, ms: int | None = None, nodes: int | None = None) -> "Query":
+        """Opt into anytime execution under a per-query evaluation budget.
+
+        ``ms`` caps wall-clock time; ``nodes`` caps search expansions per
+        evaluation pass. See :class:`GraphQuery` for the semantics.
+        """
+        return self._replace(budget_ms=ms, budget_nodes=nodes)
 
     # -- finalization --------------------------------------------------
     def build(self) -> GraphQuery:

@@ -42,6 +42,15 @@ class QueryStats:
     #: posted to the shared frontier), ``respawns`` (worker deaths
     #: recovered during this query).
     pool: dict[str, object] | None = None
+    #: Anytime-execution telemetry (``None`` unless the query carried a
+    #: budget): ``passes`` (budgeted evaluation passes run), ``refined``
+    #: (passes beyond the first, i.e. progressive refinement work),
+    #: ``settled`` (candidates whose intervals collapsed to exact
+    #: values), ``interval_pruned`` (candidates excluded with their
+    #: intervals still open — they provably cannot change the answer),
+    #: ``starved`` (candidates never evaluated before the budget ran
+    #: out), ``budget_spent_ms`` (wall clock consumed).
+    anytime: dict[str, object] | None = None
 
     @property
     def pruning_ratio(self) -> float:
@@ -79,9 +88,19 @@ class QueryStats:
                 f" frontier_pruned={self.pool.get('frontier_pruned', 0)}"
                 f" published={self.pool.get('published', 0)}]"
             )
+        anytime = ""
+        if self.anytime is not None:
+            anytime = (
+                f" anytime[passes={self.anytime.get('passes', 0)}"
+                f" refined={self.anytime.get('refined', 0)}"
+                f" settled={self.anytime.get('settled', 0)}"
+                f" interval_pruned={self.anytime.get('interval_pruned', 0)}"
+                f" starved={self.anytime.get('starved', 0)}"
+                f" spent={self.anytime.get('budget_spent_ms', 0)}ms]"
+            )
         return (
             f"n={self.database_size} evaluated={self.exact_evaluations} "
-            f"pruned={self.pruned_by_index}{batched}{cached}{sharded}{pool} "
+            f"pruned={self.pruned_by_index}{batched}{cached}{sharded}{pool}{anytime} "
             f"skyline={self.skyline_size} [{timings}]"
         )
 

@@ -30,7 +30,12 @@ candidate loop. The pieces compose freely:
   for every run inside it; the engine checks it cooperatively once per
   candidate and raises :class:`~repro.errors.DeadlineExceeded`
   (:mod:`repro.engine.deadline`, the hook ``repro.server`` cancels
-  expired queries through).
+  expired queries through);
+* anytime — specs carrying ``budget_ms``/``budget_nodes`` route to
+  :func:`run_plan_anytime` (:mod:`repro.engine.anytime`): every solver
+  call runs under a :class:`~repro.graph.budget.Budget`, candidates are
+  progressively refined, and the answer is selected over certified
+  ``[lower, upper]`` intervals instead of blocking on exact searches.
 
 :func:`run_plan` drives a plan; soundness of every cascade stage (a
 pruned candidate never appears in the exhaustive answer) is
@@ -66,6 +71,7 @@ from repro.engine.workers import (
     shared_pool,
     shutdown_pool,
 )
+from repro.engine.anytime import run_plan_anytime
 from repro.engine.core import RunContext, make_context, run_plan
 from repro.engine.deadline import Deadline, current_deadline, deadline_scope
 from repro.engine.scatter import (
@@ -105,6 +111,7 @@ __all__ = [
     "RunContext",
     "make_context",
     "run_plan",
+    "run_plan_anytime",
     "Deadline",
     "current_deadline",
     "deadline_scope",

@@ -132,6 +132,10 @@ def run_plan(
     """Execute ``spec`` over ``database`` under ``plan`` (see module doc)."""
     spec.validate()
     ctx = make_context(database, spec, cache)
+    if spec.anytime:
+        from repro.engine.anytime import run_plan_anytime
+
+        return run_plan_anytime(ctx, plan)
     stats = ctx.stats
     evaluator: Evaluator = plan.evaluator or SerialEvaluator()
 

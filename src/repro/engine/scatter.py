@@ -135,6 +135,25 @@ class ShardedSource(CandidateSource):
 # ----------------------------------------------------------------------
 # Merge consumers (the gather phase)
 # ----------------------------------------------------------------------
+def _union_intervals(
+    shard_answers: "list[BackendAnswer]",
+) -> tuple[dict[int, tuple] | None, bool]:
+    """``(interval union, any shard approximate)`` across shard answers.
+
+    Shard id spaces are disjoint, so the union is a plain dict merge;
+    ``None`` when no shard ran an anytime (budgeted) plan.
+    """
+    intervals: dict[int, tuple] | None = None
+    approximate = False
+    for answer in shard_answers:
+        if answer.intervals is not None:
+            if intervals is None:
+                intervals = {}
+            intervals.update(answer.intervals)
+            approximate = approximate or answer.approximate
+    return intervals, approximate
+
+
 class MergeConsumer(abc.ABC):
     """Combines per-shard :class:`BackendAnswer` objects into the global one."""
 
@@ -185,11 +204,50 @@ class SkylineMerge(MergeConsumer):
         evaluated: list[int] = []
         pruned: list[int] = []
         local_union: list[int] = []
+        intervals, approximate = _union_intervals(shard_answers)
         for answer in shard_answers:
             vectors.update(answer.vectors)
             evaluated.extend(answer.evaluated_ids)
             pruned.extend(answer.pruned_ids)
             local_union.extend(answer.ids)
+        if intervals is not None and any(
+            not interval.settled
+            for vector in intervals.values()
+            for interval in vector
+        ):
+            # Anytime gather with open intervals. Upper-bound vectors are
+            # not sound dominance evidence (``x <= y_upper`` says nothing
+            # about ``x <= y_exact``), so the local-answer-union argument
+            # breaks: re-certify membership over the *union* of the
+            # per-shard intervals instead. When that cannot decide every
+            # candidate the merged answer is best-effort over upper
+            # bounds, exactly like the monolithic consumer.
+            from repro.engine.anytime import vector_membership
+
+            certain_in: "set[int] | None" = None
+            if spec.tolerance == 0:
+                member_in, member_out = vector_membership(spec, intervals)
+                if len(member_in) + len(member_out) == len(intervals):
+                    certain_in = member_in
+            if certain_in is not None:
+                answer_ids = sorted(certain_in)
+                approximate = False
+            else:
+                approximate = True
+                pool = list(vectors)
+                values = [vectors[graph_id].values for graph_id in pool]
+                if spec.kind == "skyband":
+                    positions = k_skyband(values, spec.k, tolerance=spec.tolerance)
+                else:
+                    positions = vector_skyline(
+                        values, algorithm=spec.algorithm, tolerance=spec.tolerance
+                    )
+                answer_ids = sorted(pool[position] for position in positions)
+            stats.skyline_size = len(answer_ids)
+            return BackendAnswer(
+                answer_ids, evaluated, vectors, None, stats, pruned,
+                intervals=intervals, approximate=approximate,
+            )
         pool = local_union
         if spec.tolerance > 0 or any(
             math.isnan(value)
@@ -206,7 +264,10 @@ class SkylineMerge(MergeConsumer):
             )
         answer_ids = sorted(pool[position] for position in positions)
         stats.skyline_size = len(answer_ids)
-        return BackendAnswer(answer_ids, evaluated, vectors, None, stats, pruned)
+        return BackendAnswer(
+            answer_ids, evaluated, vectors, None, stats, pruned,
+            intervals=intervals, approximate=approximate,
+        )
 
 
 class FrontierMerge(MergeConsumer):
@@ -229,15 +290,40 @@ class FrontierMerge(MergeConsumer):
         evaluated: list[int] = []
         pruned: list[int] = []
         frontier: list[int] = []
+        intervals, approximate = _union_intervals(shard_answers)
         for answer in shard_answers:
             distances.update(answer.distances or {})
             evaluated.extend(answer.evaluated_ids)
             pruned.extend(answer.pruned_ids)
             frontier.extend(answer.ids)
+        if approximate:
+            # Best-effort anytime gather: rank everything evaluated by
+            # its certified upper bound — sound for threshold (upper <= t
+            # certifies membership) and the natural pessimistic ranking
+            # for top-k. Certified shard answers (approximate=False) keep
+            # the exact frontier-merge below: certified local answers are
+            # the exact local answers, members settled, so the classic
+            # every-global-member-is-in-its-local-frontier argument holds.
+            if spec.kind == "topk":
+                frontier = sorted(
+                    distances, key=lambda graph_id: (distances[graph_id], graph_id)
+                )[: spec.k]
+            else:
+                frontier = sorted(
+                    (g for g in distances if distances[g] <= spec.threshold),
+                    key=lambda graph_id: (distances[graph_id], graph_id),
+                )
+            return BackendAnswer(
+                frontier, evaluated, {}, distances, stats, pruned,
+                intervals=intervals, approximate=True,
+            )
         frontier.sort(key=lambda graph_id: (distances[graph_id], graph_id))
         if spec.kind == "topk":
             frontier = frontier[: spec.k]
-        return BackendAnswer(frontier, evaluated, {}, distances, stats, pruned)
+        return BackendAnswer(
+            frontier, evaluated, {}, distances, stats, pruned,
+            intervals=intervals, approximate=False,
+        )
 
 
 def merge_consumer(spec: GraphQuery) -> MergeConsumer:
@@ -263,6 +349,7 @@ def merged_stats(
     stats = QueryStats(database_size=len(database))
     breakdown: list[dict[str, int]] = []
     pool_total: dict[str, object] | None = None
+    anytime_total: dict[str, object] | None = None
     for index, shard in enumerate(shard_stats):
         row = {
             "shard": index,
@@ -324,7 +411,33 @@ def merged_stats(
                     pool_total["attach"][kind] = (
                         pool_total["attach"].get(kind, 0) + count
                     )
+            if shard.anytime is not None:
+                # Anytime telemetry sums across shards; the wall clock
+                # (``budget_spent_ms``) takes the slowest shard since the
+                # sequential scatter shares one budget.
+                if anytime_total is None:
+                    anytime_total = {
+                        "passes": 0,
+                        "refined": 0,
+                        "settled": 0,
+                        "interval_pruned": 0,
+                        "starved": 0,
+                        "budget_spent_ms": 0.0,
+                    }
+                for key in (
+                    "passes",
+                    "refined",
+                    "settled",
+                    "interval_pruned",
+                    "starved",
+                ):
+                    anytime_total[key] += shard.anytime.get(key, 0)
+                anytime_total["budget_spent_ms"] = max(
+                    anytime_total["budget_spent_ms"],
+                    shard.anytime.get("budget_spent_ms", 0.0),
+                )
         breakdown.append(row)
     stats.per_shard = breakdown
     stats.pool = pool_total
+    stats.anytime = anytime_total
     return stats

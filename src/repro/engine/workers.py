@@ -1298,6 +1298,11 @@ class PooledEvaluator(Evaluator):
             else max(1, self.max_workers * _WAVE_BASE)
         )
         while remaining:
+            # Between draining one wave's results and submitting the
+            # next: pool.run checks only while waiting on futures, so an
+            # expired deadline used to slip one full extra wave through.
+            if ctx.deadline is not None:
+                ctx.deadline.check()
             if sharing is not None:
                 sharing.poll()
                 remaining, pruned = sharing.split(remaining)

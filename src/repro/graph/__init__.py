@@ -7,6 +7,7 @@ plus approximate graph edit distance, together with generators, features,
 canonical forms and serialization.
 """
 
+from repro.graph.budget import Budget, Interval
 from repro.graph.labeled_graph import DEFAULT_EDGE_LABEL, LabeledGraph, edge_key
 from repro.graph.operations import (
     CostModel,
@@ -77,6 +78,8 @@ from repro.graph.statistics import (
 )
 
 __all__ = [
+    "Budget",
+    "Interval",
     "DEFAULT_EDGE_LABEL",
     "LabeledGraph",
     "edge_key",

@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass
 from collections.abc import Hashable
 
+from repro.graph.budget import Budget, Interval
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.operations import (
     CostModel,
@@ -59,16 +60,34 @@ class GedResult:
         ``g1 vertex -> None`` for deleted ones. Unlisted ``g2`` vertices are
         insertions.
     optimal:
-        ``False`` only when a ``node_limit`` stopped the search early; the
-        reported distance is then an upper bound.
+        ``False`` only when a ``node_limit`` or :class:`Budget` stopped the
+        search early; the reported distance is then an upper bound.
     expanded_nodes:
         Number of search-tree nodes expanded (used by the ablation bench).
+    lower_bound:
+        Certified lower bound on the exact distance. Equals ``distance``
+        when ``optimal``; on truncation it is the best admissible bound
+        over the abandoned frontier (never above ``distance``).
+    found:
+        Whether ``mapping`` realises a complete solution of cost at most
+        ``distance``. ``False`` only when a caller-supplied ``upper_bound``
+        cut off every complete assignment before truncation — "truncated
+        with incumbent" (``True``) vs "no solution found" (``False``).
     """
 
     distance: float
     mapping: dict[VertexId, VertexId | None]
     optimal: bool
     expanded_nodes: int
+    lower_bound: float | None = None
+    found: bool = True
+
+    def interval(self) -> Interval:
+        """Certified ``[lower, upper]`` interval around the exact distance."""
+        lower = self.lower_bound
+        if lower is None:
+            lower = self.distance if self.optimal else 0.0
+        return Interval(lower=max(0.0, min(lower, self.distance)), upper=self.distance)
 
 
 def _multiset_bound(
@@ -99,11 +118,14 @@ class _DfGed:
         costs: CostModel,
         upper_bound: float | None,
         node_limit: int | None,
+        budget: Budget | None = None,
+        seed_mapping: dict[VertexId, VertexId | None] | None = None,
     ) -> None:
         self.g1 = g1
         self.g2 = g2
         self.costs = costs
         self.node_limit = node_limit
+        self.budget = budget
         self.expanded = 0
         # Process high-degree vertices first: their edge costs are decided
         # early, which tightens pruning.
@@ -113,8 +135,18 @@ class _DfGed:
         self.g2_vertices = list(g2.vertices())
         self.best = float("inf") if upper_bound is None else float(upper_bound)
         self.best_mapping: dict[VertexId, VertexId | None] = {}
+        self.realized = False
+        if seed_mapping is not None:
+            # The incumbent is a real complete assignment (bipartite or
+            # full-rewrite seed), not just a numeric cap: a truncated run
+            # can hand it back as a realised solution.
+            self.best_mapping = dict(seed_mapping)
+            self.realized = True
         self.uniform = isinstance(costs, UniformCostModel)
         self.truncated = False
+        # Best admissible bound over states the truncation abandoned: the
+        # certified lower-bound side of the returned interval.
+        self.abandoned_min = float("inf")
 
     # -- lower bound ----------------------------------------------------
     def _remaining_bound(self, level: int, used: set[VertexId]) -> float:
@@ -184,13 +216,24 @@ class _DfGed:
         return cost
 
     # -- search -----------------------------------------------------------
+    def _exhausted(self) -> bool:
+        if self.node_limit is not None and self.expanded >= self.node_limit:
+            return True
+        return self.budget is not None and self.budget.exhausted(self.expanded)
+
     def run(self) -> GedResult:
         self._extend(0, {}, set(), 0.0)
+        if self.truncated:
+            lower = min(self.best, self.abandoned_min)
+        else:
+            lower = self.best
         return GedResult(
             distance=self.best,
             mapping=dict(self.best_mapping),
             optimal=not self.truncated,
             expanded_nodes=self.expanded,
+            lower_bound=max(0.0, lower),
+            found=self.realized,
         )
 
     def _extend(
@@ -200,8 +243,11 @@ class _DfGed:
         used: set[VertexId],
         cost_so_far: float,
     ) -> None:
-        if self.node_limit is not None and self.expanded >= self.node_limit:
+        if self.truncated or self._exhausted():
             self.truncated = True
+            bound = cost_so_far + self._remaining_bound(level, used)
+            if bound < self.abandoned_min:
+                self.abandoned_min = bound
             return
         self.expanded += 1
         if level == len(self.order):
@@ -209,6 +255,7 @@ class _DfGed:
             if total < self.best:
                 self.best = total
                 self.best_mapping = dict(mapping)
+                self.realized = True
             return
         if cost_so_far + self._remaining_bound(level, used) >= self.best:
             return
@@ -232,12 +279,40 @@ class _DfGed:
             del mapping[u]
 
 
+def _seed_incumbent(
+    g1: LabeledGraph,
+    g2: LabeledGraph,
+    costs: CostModel,
+) -> tuple[float, dict[VertexId, VertexId | None]]:
+    """A finite *realised* incumbent for any cost model.
+
+    Prefers the bipartite-assignment estimate (its distance is the exact
+    induced cost of its mapping, for every cost model); when SciPy/NumPy
+    are unavailable, falls back to the full-rewrite mapping (delete all of
+    ``g1``, insert all of ``g2``), which every cost model can price. Either
+    way the search starts from a complete assignment, so a truncated run
+    always has a realised solution to hand back (never an ``inf`` or
+    unrealised "upper bound").
+    """
+    # Local import: ged_approx builds on the same cost models but must
+    # stay importable without the exact solver.
+    from repro.graph.ged_approx import bipartite_ged, induced_edit_cost
+
+    try:
+        estimate = bipartite_ged(g1, g2, costs=costs)
+        return estimate.distance, estimate.mapping
+    except ImportError:  # no scipy/numpy: worst-case full rewrite
+        mapping = {v: DELETED for v in g1.vertices()}
+        return induced_edit_cost(g1, g2, mapping, costs), mapping
+
+
 def graph_edit_distance(
     g1: LabeledGraph,
     g2: LabeledGraph,
     costs: CostModel = UNIFORM_COSTS,
     upper_bound: float | None = None,
     node_limit: int | None = None,
+    budget: Budget | None = None,
 ) -> GedResult:
     """Exact ``DistEd(g1, g2)`` with the realising vertex mapping.
 
@@ -246,23 +321,34 @@ def graph_edit_distance(
     costs:
         Cost model; the default reproduces the paper's uniform model.
     upper_bound:
-        Optional incumbent to start from. When omitted and the cost model is
-        uniform, a bipartite-assignment estimate seeds the search.
+        Optional incumbent to start from. When omitted, a realised seed
+        assignment (bipartite estimate, or the full-rewrite mapping
+        without SciPy) starts the search for **every** cost model, so a
+        truncated result always carries a finite, realised distance.
     node_limit:
         Optional cap on expanded nodes; when hit, the result carries
-        ``optimal=False`` and the distance is an upper bound.
+        ``optimal=False``, the distance is an upper bound and
+        ``lower_bound`` a certified lower bound.
+    budget:
+        Optional :class:`~repro.graph.budget.Budget` (wall clock and/or
+        expansions) checked inside the expansion loop; exhaustion
+        truncates exactly like ``node_limit``.
     """
+    seed_mapping = None
     seed = upper_bound
     if seed is None:
-        # Local import: ged_approx builds on the same cost models but must
-        # stay importable without the exact solver.
-        from repro.graph.ged_approx import bipartite_ged
-
-        seed = bipartite_ged(g1, g2, costs=costs).distance + 1e-9
-    search = _DfGed(g1, g2, costs, seed, node_limit)
+        seed_cost, seed_mapping = _seed_incumbent(g1, g2, costs)
+        # Tiny epsilon: the search may re-find an equal-cost complete
+        # mapping and record it (pruning uses >= best).
+        seed = seed_cost + 1e-9
+    search = _DfGed(g1, g2, costs, seed, node_limit, budget, seed_mapping)
     result = search.run()
-    if result.distance == float("inf"):  # pragma: no cover - defensive
-        raise RuntimeError("edit-distance search failed to find any assignment")
+    if result.distance == float("inf") and result.optimal:
+        # Only reachable with a caller-supplied infinite upper bound on a
+        # completed search — kept as a defensive invariant.
+        raise RuntimeError(  # pragma: no cover - defensive
+            "edit-distance search failed to find any assignment"
+        )
     return result
 
 

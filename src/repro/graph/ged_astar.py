@@ -18,6 +18,7 @@ import itertools
 from collections import Counter
 from collections.abc import Hashable
 
+from repro.graph.budget import Budget
 from repro.graph.ged import DELETED, GedResult, _multiset_bound
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.operations import CostModel, UNIFORM_COSTS, UniformCostModel
@@ -34,11 +35,13 @@ class _AStarGed:
         g2: LabeledGraph,
         costs: CostModel,
         node_limit: int | None,
+        budget: Budget | None = None,
     ) -> None:
         self.g1 = g1
         self.g2 = g2
         self.costs = costs
         self.node_limit = node_limit
+        self.budget = budget
         self.order = sorted(g1.vertices(), key=lambda v: (-g1.degree(v), repr(v)))
         self.g2_vertices = list(g2.vertices())
         self.uniform = isinstance(costs, UniformCostModel)
@@ -113,9 +116,13 @@ class _AStarGed:
         frontier: list[tuple[float, int, float, dict, frozenset]] = [start]
         while frontier:
             f, _, g_cost, mapping, used = heapq.heappop(frontier)
-            if self.node_limit is not None and self.expanded >= self.node_limit:
-                # fall back: greedily complete the current best partial state
-                return self._truncate(g_cost, mapping, used)
+            if (
+                self.node_limit is not None and self.expanded >= self.node_limit
+            ) or (self.budget is not None and self.budget.exhausted(self.expanded)):
+                # Fall back: greedily complete the current best partial
+                # state. The popped f is min over the whole frontier, so it
+                # is a certified global lower bound at truncation.
+                return self._truncate(f, g_cost, mapping, used)
             self.expanded += 1
             level = len(mapping)
             if level == len(self.order):
@@ -125,6 +132,7 @@ class _AStarGed:
                     mapping=dict(mapping),
                     optimal=True,
                     expanded_nodes=self.expanded,
+                    lower_bound=total,
                 )
             u = self.order[level]
             options: list[VertexId | None] = [
@@ -144,7 +152,7 @@ class _AStarGed:
         raise RuntimeError("A* frontier exhausted without a goal")  # pragma: no cover
 
     def _truncate(
-        self, g_cost: float, mapping: dict, used: frozenset
+        self, frontier_bound: float, g_cost: float, mapping: dict, used: frozenset
     ) -> GedResult:
         """Cheapest greedy completion of a partial state (upper bound)."""
         mapping = dict(mapping)
@@ -165,6 +173,7 @@ class _AStarGed:
             mapping=mapping,
             optimal=False,
             expanded_nodes=self.expanded,
+            lower_bound=min(frontier_bound, total),
         )
 
 
@@ -173,10 +182,13 @@ def graph_edit_distance_astar(
     g2: LabeledGraph,
     costs: CostModel = UNIFORM_COSTS,
     node_limit: int | None = None,
+    budget: Budget | None = None,
 ) -> GedResult:
     """Exact ``DistEd`` via best-first search (see module docstring).
 
-    With a ``node_limit`` the search degrades gracefully to an upper bound
-    (``optimal=False``), completing the best frontier state greedily.
+    With a ``node_limit`` or exhausted :class:`Budget` the search degrades
+    gracefully to a certified interval (``optimal=False``): the greedy
+    completion of the best frontier state is the upper bound, the popped
+    frontier minimum the lower bound.
     """
-    return _AStarGed(g1, g2, costs, node_limit).run()
+    return _AStarGed(g1, g2, costs, node_limit, budget).run()

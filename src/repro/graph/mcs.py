@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Hashable
 
+from repro.graph.budget import Budget
 from repro.graph.labeled_graph import LabeledGraph, edge_key
 
 VertexId = Hashable
@@ -48,15 +49,32 @@ class McsResult:
         common subgraph.
     matched_edges:
         Canonical ``g1`` edge pairs included in the common subgraph.
+    optimal:
+        ``False`` only when a :class:`Budget` truncated the search; the
+        realised subgraph is then a lower bound on the true MCS.
+    size_upper:
+        Certified upper bound on the true MCS edge count when truncated
+        (``None`` means the search completed, i.e. the bound is ``size``).
     """
 
     mapping: dict[VertexId, VertexId] = field(default_factory=dict)
     matched_edges: frozenset[tuple[VertexId, VertexId]] = frozenset()
+    optimal: bool = True
+    size_upper: int | None = None
 
     @property
     def size(self) -> int:
         """Edge count — the paper's ``|mcs(g1, g2)|``."""
         return len(self.matched_edges)
+
+    @property
+    def edge_bound(self) -> int:
+        """Certified upper bound on the true MCS edge count."""
+        return self.size if self.size_upper is None else max(self.size, self.size_upper)
+
+    def size_interval(self) -> tuple[int, int]:
+        """Certified ``[realised, upper-bound]`` range of ``|mcs|``."""
+        return (self.size, self.edge_bound)
 
     @property
     def order(self) -> int:
@@ -95,12 +113,29 @@ def _edge_compatible(
 class _McsSearch:
     """One branch-and-bound run over a fixed seed order."""
 
-    def __init__(self, g1: LabeledGraph, g2: LabeledGraph, objective: str) -> None:
+    def __init__(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        objective: str,
+        budget: Budget | None = None,
+        initial_best_edges: int | None = None,
+    ) -> None:
         self.g1 = g1
         self.g2 = g2
         self.objective = objective
+        self.budget = budget
+        self.expanded = 0
+        self.truncated = False
+        # Best optimistic edge bound over states the truncation abandoned;
+        # together with the incumbent it certifies ``size_upper``.
+        self.abandoned_edges = 0
         self.best_edges = -1
         self.best_order = 0
+        if initial_best_edges is not None and objective == "edges":
+            # Refinement re-runs seed the incumbent size from the previous
+            # truncated pass so pruning starts tight immediately.
+            self.best_edges = initial_best_edges
         self.best_mapping: dict[VertexId, VertexId] = {}
         self.best_matched: frozenset = frozenset()
         # Deterministic vertex order for seed symmetry breaking.
@@ -155,18 +190,37 @@ class _McsSearch:
         return (vertex_bound, edge_bound) <= (self.best_order, self.best_edges)
 
     # -- search --------------------------------------------------------
+    def _exhausted(self) -> bool:
+        return self.budget is not None and self.budget.exhausted(self.expanded)
+
     def run(self) -> McsResult:
         self._record({}, set())
         self._visited: set[frozenset] = set()
         seeds = sorted(self.g1.vertices(), key=lambda v: self.g1_order[v])
         for v0 in seeds:
+            if self.truncated or self._exhausted():
+                # Remaining seeds were never explored: only the global
+                # bound min(|g1|, |g2|) covers them.
+                self.truncated = True
+                self.abandoned_edges = max(
+                    self.abandoned_edges, min(self.g1.size, self.g2.size)
+                )
+                break
             # Seed symmetry breaking: the subgraph's first vertex in the
             # fixed order is its seed, so earlier vertices are excluded.
             forbidden = {v for v in seeds if self.g1_order[v] < self.g1_order[v0]}
             for w0 in self.g2.vertices():
                 if _compatible(self.g1, self.g2, v0, w0):
                     self._extend({v0: w0}, set(), forbidden)
-        return McsResult(self.best_mapping, self.best_matched)
+        upper = None
+        if self.truncated:
+            upper = max(self.best_edges, self.abandoned_edges, 0)
+        return McsResult(
+            self.best_mapping,
+            self.best_matched,
+            optimal=not self.truncated,
+            size_upper=upper,
+        )
 
     def _attachable(self, mapping: dict, forbidden: set) -> list[VertexId]:
         """Unmapped g1 vertices adjacent to the mapped part, deterministic order."""
@@ -184,6 +238,16 @@ class _McsSearch:
         # is mapped, so single-vertex branching with a permanent exclusion
         # branch would be incomplete. Memoising visited partial mappings
         # removes the duplicate orderings this enumeration creates.
+        if self.truncated or self._exhausted():
+            # Record the state as a (realised) incumbent candidate, then
+            # abandon it: its optimistic edge bound joins the certificate.
+            self.truncated = True
+            self._record(mapping, matched)
+            edge_bound, _ = self._upper_bound(mapping, matched, forbidden)
+            if edge_bound > self.abandoned_edges:
+                self.abandoned_edges = edge_bound
+            return
+        self.expanded += 1
         state = frozenset(mapping.items())
         if state in self._visited:
             return
@@ -218,6 +282,8 @@ def maximum_common_subgraph(
     g1: LabeledGraph,
     g2: LabeledGraph,
     objective: str = "edges",
+    budget: Budget | None = None,
+    initial_best_edges: int | None = None,
 ) -> McsResult:
     """Compute ``mcs(g1, g2)`` (Definition 7).
 
@@ -227,12 +293,20 @@ def maximum_common_subgraph(
         ``"edges"`` maximises the matched edge count (what every numeric
         example of the paper uses); ``"vertices"`` maximises the vertex
         count, matching the literal definition text.
+    budget:
+        Optional :class:`~repro.graph.budget.Budget`; on exhaustion the
+        result carries ``optimal=False`` and a certified ``size_upper``.
+    initial_best_edges:
+        Pruning seed for refinement re-runs (``"edges"`` objective only):
+        the edge count of an already-realised common subgraph. The search
+        then only reports *strictly better* subgraphs — the caller must
+        merge the result with the solution that realised the seed.
     """
     if objective not in _OBJECTIVES:
         raise ValueError(f"objective must be one of {_OBJECTIVES}, got {objective!r}")
     # The search grows subgraphs of g1; starting from the smaller side keeps
     # the branching factor down and the result is symmetric in size.
-    return _McsSearch(g1, g2, objective).run()
+    return _McsSearch(g1, g2, objective, budget, initial_best_edges).run()
 
 
 def mcs_size(g1: LabeledGraph, g2: LabeledGraph) -> int:

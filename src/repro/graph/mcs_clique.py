@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 
+from repro.graph.budget import Budget
 from repro.graph.labeled_graph import LabeledGraph, edge_key
 from repro.graph.mcs import McsResult
 
@@ -110,12 +111,16 @@ def _largest_connected_subset(
 def maximum_common_subgraph_clique(
     g1: LabeledGraph,
     g2: LabeledGraph,
+    budget: Budget | None = None,
 ) -> McsResult:
     """Exact ``mcs(g1, g2)`` via maximal cliques of the edge-product graph.
 
     Requires ``networkx`` (clique enumeration). Exponential in the worst
     case like every exact MCS; intended for the small labeled graphs of
     this literature and as an independent oracle for the primary solver.
+    With a :class:`Budget` the clique enumeration stops on exhaustion and
+    the result reports ``optimal=False`` with the trivial certified
+    ``size_upper`` of ``min(|g1|, |g2|)``.
     """
     import networkx
 
@@ -129,7 +134,13 @@ def maximum_common_subgraph_clique(
 
     best_edges: list[tuple[VertexId, VertexId]] = []
     best_mapping: dict[VertexId, VertexId] = {}
-    for clique in networkx.find_cliques(product) if product_vertices else []:
+    truncated = False
+    for index, clique in enumerate(
+        networkx.find_cliques(product) if product_vertices else []
+    ):
+        if budget is not None and budget.exhausted(index):
+            truncated = True
+            break
         clique_pairs = [product_vertices[i] for i in clique]
         g1_edges = [edge_key(u, v) for (u, v), _ in clique_pairs]
         connected = _largest_connected_subset(g1_edges)
@@ -143,4 +154,9 @@ def maximum_common_subgraph_clique(
                 mapping[v] = y
         best_edges = connected
         best_mapping = mapping
-    return McsResult(mapping=best_mapping, matched_edges=frozenset(best_edges))
+    return McsResult(
+        mapping=best_mapping,
+        matched_edges=frozenset(best_edges),
+        optimal=not truncated,
+        size_upper=min(g1.size, g2.size) if truncated else None,
+    )

@@ -97,6 +97,11 @@ class VPTree:
         self.leaf_size = max(2, leaf_size)
         #: Rows whose distance the last search actually computed.
         self.last_rows_scanned = 0
+        #: Ambient deadline captured at search entry; every batched scan
+        #: consults it, so a deep traversal over a large tree cannot hold
+        #: an expired query (the pre-filter used to be unchecked between
+        #: the engine's per-candidate checks).
+        self._deadline = None
         rows = np.arange(len(matrix), dtype=np.int64)
         self._root = self._build(rows)
 
@@ -123,6 +128,9 @@ class VPTree:
     # ------------------------------------------------------------------
     def range_rows(self, query: QuerySignature, radius: float) -> np.ndarray:
         """Rows with metric distance ≤ ``radius``, ascending row order."""
+        from repro.engine.deadline import current_deadline
+
+        self._deadline = current_deadline()
         self.last_rows_scanned = 0
         hits: list[np.ndarray] = []
         self._range(self._root, query, radius, hits)
@@ -131,6 +139,8 @@ class VPTree:
         return np.sort(np.concatenate(hits))
 
     def _scan(self, rows: np.ndarray, query: QuerySignature) -> np.ndarray:
+        if self._deadline is not None:
+            self._deadline.check()
         self.last_rows_scanned += len(rows)
         return signature_distances(self.matrix, rows, query)
 
@@ -162,6 +172,9 @@ class VPTree:
         Ties beyond position ``k`` break toward smaller graph ids so the
         result is deterministic regardless of tree shape.
         """
+        from repro.engine.deadline import current_deadline
+
+        self._deadline = current_deadline()
         self.last_rows_scanned = 0
         if k <= 0 or self._root is None:
             empty = np.empty(0, dtype=np.int64)

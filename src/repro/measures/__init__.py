@@ -6,6 +6,7 @@ normalised edit distance used by the diversity refinement and several
 extension measures for higher-dimensional compound similarities.
 """
 
+from repro.graph.budget import Budget, Interval
 from repro.measures.base import (
     DistanceMeasure,
     FunctionMeasure,
@@ -39,6 +40,8 @@ from repro.measures.aggregation import (
 )
 
 __all__ = [
+    "Budget",
+    "Interval",
     "DistanceMeasure",
     "FunctionMeasure",
     "PairContext",

@@ -21,6 +21,7 @@ import abc
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import QueryError
+from repro.graph.budget import Budget, Interval
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.ged import GedResult, graph_edit_distance
 from repro.graph.mcs import McsResult, maximum_common_subgraph
@@ -28,7 +29,15 @@ from repro.graph.operations import CostModel, UNIFORM_COSTS
 
 
 class PairContext:
-    """Lazy, memoised sub-computations for one ordered graph pair."""
+    """Lazy, memoised sub-computations for one ordered graph pair.
+
+    Besides the exact memos (``mcs``/``ged``), the context keeps the best
+    *partial* result of budgeted runs so progressive refinement resumes
+    from the tightest certificate seen instead of starting over: a GED
+    re-run starts from the previous incumbent as its upper bound, an MCS
+    re-run seeds its pruning incumbent with the previous realised size,
+    and results are merged monotonically (bounds only ever tighten).
+    """
 
     def __init__(
         self,
@@ -41,6 +50,8 @@ class PairContext:
         self.costs = costs
         self._mcs: McsResult | None = None
         self._ged: GedResult | None = None
+        self._mcs_partial: McsResult | None = None
+        self._ged_partial: GedResult | None = None
 
     @property
     def mcs(self) -> McsResult:
@@ -55,6 +66,87 @@ class PairContext:
         if self._ged is None:
             self._ged = graph_edit_distance(self.g1, self.g2, costs=self.costs)
         return self._ged
+
+    def ged_within(self, budget: Budget | None) -> GedResult:
+        """Best (possibly partial) GED certificate obtainable in ``budget``."""
+        if budget is None or budget.unlimited:
+            return self.ged
+        if self._ged is not None:
+            return self._ged
+        prev = self._ged_partial
+        if prev is None:
+            result = graph_edit_distance(
+                self.g1, self.g2, costs=self.costs, budget=budget
+            )
+        else:
+            rerun = graph_edit_distance(
+                self.g1,
+                self.g2,
+                costs=self.costs,
+                upper_bound=prev.distance,
+                budget=budget,
+            )
+            result = _merge_ged(prev, rerun)
+        if result.optimal:
+            self._ged = result
+        else:
+            self._ged_partial = result
+        return result
+
+    def mcs_within(self, budget: Budget | None) -> McsResult:
+        """Best (possibly partial) MCS certificate obtainable in ``budget``."""
+        if budget is None or budget.unlimited:
+            return self.mcs
+        if self._mcs is not None:
+            return self._mcs
+        prev = self._mcs_partial
+        result = maximum_common_subgraph(
+            self.g1,
+            self.g2,
+            budget=budget,
+            initial_best_edges=None if prev is None else prev.size,
+        )
+        if prev is not None:
+            result = _merge_mcs(prev, result)
+        if result.optimal:
+            self._mcs = result
+        else:
+            self._mcs_partial = result
+        return result
+
+
+def _merge_ged(prev: GedResult, new: GedResult) -> GedResult:
+    """Monotone merge of two GED certificates for the same pair."""
+    lower = max(prev.lower_bound or 0.0, new.lower_bound or 0.0)
+    if new.found and (not prev.found or new.distance < prev.distance):
+        distance, mapping, found = new.distance, new.mapping, True
+    else:
+        distance, mapping, found = prev.distance, prev.mapping, prev.found
+    return GedResult(
+        distance=distance,
+        mapping=dict(mapping),
+        optimal=new.optimal,
+        expanded_nodes=prev.expanded_nodes + new.expanded_nodes,
+        lower_bound=min(lower, distance),
+        found=found,
+    )
+
+
+def _merge_mcs(prev: McsResult, new: McsResult) -> McsResult:
+    """Monotone merge of two MCS certificates for the same pair."""
+    if new.size > prev.size:
+        mapping, matched = new.mapping, new.matched_edges
+    else:
+        mapping, matched = prev.mapping, prev.matched_edges
+    size = len(matched)
+    upper = max(size, min(prev.edge_bound, new.edge_bound))
+    optimal = new.optimal or upper <= size
+    return McsResult(
+        mapping=dict(mapping),
+        matched_edges=frozenset(matched),
+        optimal=optimal,
+        size_upper=None if optimal else upper,
+    )
 
 
 class DistanceMeasure(abc.ABC):
@@ -84,6 +176,23 @@ class DistanceMeasure(abc.ABC):
         context: PairContext | None = None,
     ) -> float:
         """Distance between ``g1`` and ``g2`` (smaller = more similar)."""
+
+    def distance_interval(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+        budget: Budget | None = None,
+    ) -> Interval:
+        """Certified ``[lower, upper]`` interval obtainable within ``budget``.
+
+        The exact distance is guaranteed to lie in the returned interval;
+        a settled interval (``lower == upper``) pins it. The default runs
+        the exact ``distance`` to completion and returns the degenerate
+        interval — measures built on budgetable searches override this to
+        honor the budget and return genuine partial certificates.
+        """
+        return Interval.exact(self.distance(g1, g2, context))
 
     def __call__(
         self,

@@ -8,6 +8,9 @@ increasing map ``f(x) = x / (1 + x)``.
 
 from __future__ import annotations
 
+import math
+
+from repro.graph.budget import Budget, Interval
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.operations import CostModel, UNIFORM_COSTS
 from repro.measures.base import DistanceMeasure, PairContext, register_measure
@@ -43,6 +46,28 @@ class EditDistance(DistanceMeasure):
 
         return graph_edit_distance(g1, g2, costs=self.costs).distance
 
+    def distance_interval(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+        budget: Budget | None = None,
+    ) -> Interval:
+        return self._budgeted_result(g1, g2, context, budget).interval()
+
+    def _budgeted_result(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None,
+        budget: Budget | None,
+    ):
+        if context is not None and context.costs is self.costs:
+            return context.ged_within(budget)
+        from repro.graph.ged import graph_edit_distance
+
+        return graph_edit_distance(g1, g2, costs=self.costs, budget=budget)
+
 
 class NormalizedEditDistance(DistanceMeasure):
     """``DistN-Ed = DistEd / (1 + DistEd)`` (Section VII).
@@ -67,6 +92,21 @@ class NormalizedEditDistance(DistanceMeasure):
     ) -> float:
         raw = self._edit.distance(g1, g2, context)
         return raw / (1.0 + raw)
+
+    def distance_interval(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+        budget: Budget | None = None,
+    ) -> Interval:
+        raw = self._edit.distance_interval(g1, g2, context, budget)
+        # x / (1 + x) is increasing, so it maps interval endpoints directly
+        # (sup over x -> inf is 1, the measure's bound).
+        return Interval(
+            lower=raw.lower / (1.0 + raw.lower),
+            upper=1.0 if math.isinf(raw.upper) else raw.upper / (1.0 + raw.upper),
+        )
 
 
 register_measure("edit", EditDistance)

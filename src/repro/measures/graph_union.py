@@ -10,6 +10,7 @@ reacts when the smaller graph grows while the mcs stays constant).
 
 from __future__ import annotations
 
+from repro.graph.budget import Budget, Interval
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.mcs import maximum_common_subgraph
 from repro.measures.base import DistanceMeasure, PairContext, register_measure
@@ -42,6 +43,34 @@ class GraphUnionDistance(DistanceMeasure):
         context: PairContext | None = None,
     ) -> float:
         return 1.0 - graph_union_similarity(g1, g2, context)
+
+    def distance_interval(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+        budget: Budget | None = None,
+    ) -> Interval:
+        total = g1.size + g2.size
+        if total == 0:
+            return Interval.exact(0.0)
+        result = (
+            context.mcs_within(budget)
+            if context is not None
+            else maximum_common_subgraph(g1, g2, budget=budget)
+        )
+        size_low, size_high = result.size_interval()
+        size_high = min(size_high, min(g1.size, g2.size))
+
+        def dist(size: int) -> float:
+            union_size = total - size
+            return 1.0 - (size / union_size if union_size else 1.0)
+
+        # 1 - sz/(total - sz) is decreasing in sz: endpoints swap.
+        return Interval(
+            lower=max(0.0, dist(size_high)),
+            upper=min(1.0, dist(size_low)),
+        )
 
 
 register_measure("union", GraphUnionDistance)

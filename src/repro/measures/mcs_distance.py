@@ -8,6 +8,7 @@ are defined to be at distance 0.
 
 from __future__ import annotations
 
+from repro.graph.budget import Budget, Interval
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.mcs import maximum_common_subgraph
 from repro.measures.base import DistanceMeasure, PairContext, register_measure
@@ -40,6 +41,29 @@ class McsDistance(DistanceMeasure):
         context: PairContext | None = None,
     ) -> float:
         return 1.0 - mcs_similarity(g1, g2, context)
+
+    def distance_interval(
+        self,
+        g1: LabeledGraph,
+        g2: LabeledGraph,
+        context: PairContext | None = None,
+        budget: Budget | None = None,
+    ) -> Interval:
+        denominator = max(g1.size, g2.size)
+        if denominator == 0:
+            return Interval.exact(0.0)
+        result = (
+            context.mcs_within(budget)
+            if context is not None
+            else maximum_common_subgraph(g1, g2, budget=budget)
+        )
+        size_low, size_high = result.size_interval()
+        # 1 - sz/denominator is decreasing in sz: the size interval maps
+        # to the distance interval with endpoints swapped.
+        return Interval(
+            lower=max(0.0, 1.0 - min(size_high, denominator) / denominator),
+            upper=min(1.0, 1.0 - size_low / denominator),
+        )
 
 
 register_measure("mcs", McsDistance)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextlib
+import dataclasses
 import threading
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -302,6 +303,32 @@ class QueryServer:
         except (SerializationError, QueryError) as exc:
             raise ProtocolError("query-error", str(exc)) from exc
 
+    def _apply_anytime(
+        self, request: Request, spec: GraphQuery, deadline_s: float | None
+    ) -> GraphQuery:
+        """``?anytime=1`` (or ``X-Anytime: 1``): serve budgeted intervals.
+
+        A spec already carrying ``budget_ms``/``budget_nodes`` is anytime
+        on its own; the flag derives ``budget_ms`` from the request
+        deadline for specs without knobs, so the engine returns a
+        complete interval answer (``approximate: true``) instead of a
+        504 whenever at least one evaluation pass finished before the
+        deadline.
+        """
+        raw = request.query.get("anytime") or request.headers.get("x-anytime")
+        if raw is None or str(raw).lower() in ("", "0", "false", "no"):
+            return spec
+        if spec.anytime:
+            return spec
+        if deadline_s is None:
+            raise ProtocolError(
+                "bad-request",
+                "anytime=1 needs a request deadline or an explicit "
+                "budget_ms/budget_nodes in the query body",
+            )
+        budget_ms = max(1, int(deadline_s * 1000))
+        return dataclasses.replace(spec, budget_ms=budget_ms).validate()
+
     # -- handlers ---------------------------------------------------------
     async def _handle_health(self, request: Request) -> dict[str, Any]:
         return {
@@ -329,6 +356,7 @@ class QueryServer:
         spec = self._parse_spec(request.json())
         backend_name = request.query.get("backend") or self.config.backend
         deadline_s = self._deadline_seconds(request)
+        spec = self._apply_anytime(request, spec, deadline_s)
         loop = asyncio.get_running_loop()
         try:
             async with self.admission.slot():

@@ -36,6 +36,9 @@ selection, i.e. exact ``memory`` semantics.
 
 from __future__ import annotations
 
+import dataclasses
+import time
+
 from repro.errors import QueryError
 from repro.db.database import GraphDatabase
 from repro.api.spec import GraphQuery
@@ -200,6 +203,13 @@ class ShardedBackend(ExecutionBackend):
         answers = []
         shard_stats: list = [None] * database.shard_count
         sharing = self._query_sharing(spec)
+        # An anytime wall-clock budget is *global*: the sequential shard
+        # runs share it, so each shard gets the remainder (a shard after
+        # expiry still runs its cascade and reports interval-bounded
+        # starved candidates instead of re-anchoring the full budget).
+        anytime_wall = None
+        if spec.budget_ms is not None:
+            anytime_wall = time.monotonic() + spec.budget_ms / 1000.0
         try:
             for index in range(database.shard_count):
                 if not len(database.shards[index]):
@@ -218,8 +228,14 @@ class ShardedBackend(ExecutionBackend):
                     evaluator=evaluator,
                     stage_labels=labels,
                 )
+                shard_spec = spec
+                if anytime_wall is not None:
+                    remaining_ms = max(
+                        1, int((anytime_wall - time.monotonic()) * 1000)
+                    )
+                    shard_spec = dataclasses.replace(spec, budget_ms=remaining_ms)
                 answer = run_plan(
-                    database.shards[index], spec, plan, cache=self.cache
+                    database.shards[index], shard_spec, plan, cache=self.cache
                 )
                 shard_stats[index] = answer.stats
                 answers.append(answer)

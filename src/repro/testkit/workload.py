@@ -316,6 +316,7 @@ def _query_spec(
     graph: LabeledGraph,
     kind: str,
     backend: str,
+    budgeted: bool = False,
 ) -> GraphQuery:
     """One concrete validated spec for (kind, backend).
 
@@ -324,6 +325,12 @@ def _query_spec(
     transitive, so pruning-then-selecting can legitimately differ from
     exhaustive selection — that is a semantics caveat, not a bug the
     harness should report.
+
+    With ``budgeted`` (``RunQuery`` steps only — live views don't take
+    budgets), a slice of specs carries ``budget_nodes``: a pure expansion
+    budget with no wall clock, so the anytime engine refines until the
+    intervals certify and the answer must still equal the exhaustive
+    oracle's — fuzzing the whole budgeted path deterministically.
     """
     measures = rng.choice(MEASURE_POOLS)
     algorithm = rng.choice(("bnl", "sfs", "dnc", "naive"))
@@ -349,6 +356,8 @@ def _query_spec(
     if kind in ("skyline", "skyband") and tolerance == 0.0 and rng.random() < 0.1:
         kwargs["refine_k"] = 2
         kwargs["refine_method"] = rng.choice(("exhaustive", "greedy"))
+    if budgeted and rng.random() < 0.2:
+        kwargs["budget_nodes"] = rng.choice((50, 500, 5000))
     return GraphQuery(**kwargs).validate()
 
 
@@ -425,7 +434,11 @@ def generate_workload(
             kind, backend = combos[combo_cursor % len(combos)]
             combo_cursor += 1
             spec = _query_spec(
-                rng, _query_graph(rng, live, max_vertices, recent_queries), kind, backend
+                rng,
+                _query_graph(rng, live, max_vertices, recent_queries),
+                kind,
+                backend,
+                budgeted=True,
             )
             recent_queries.append(spec.graph)
             del recent_queries[:-5]
