@@ -1,0 +1,146 @@
+"""Bench A11 — durability overhead: WAL throughput and recovery time.
+
+The write-ahead log sits on every mutation path, so its cost decides
+whether durability is affordable. Two questions:
+
+* **Append overhead** — sustained mutation ops/sec with ``sync=always``
+  (fsync per op, the strongest guarantee) vs ``sync=interval`` (flush
+  per op, fsync amortized) vs an undurable baseline. The always/interval
+  gap is the price of per-op fsync on this filesystem.
+* **Recovery time** — wall-clock to rebuild the store from a 10k-op
+  log, the worst case after a crash with compaction disabled.
+
+The acceptance gates are deliberately loose sanity floors — they only
+trip if logging collapses (an accidental per-op reopen, a quadratic
+replay), not on machine noise. Results land in ``BENCH_wal.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.ops import AddOp, RemoveOp, apply_mutation
+from repro.db import DurableLog, GraphDatabase
+from repro.db.wal import recover
+from repro.graph.labeled_graph import LabeledGraph
+
+APPEND_OPS = 2_000
+RECOVERY_OPS = 10_000
+#: interval-sync must stay within a small factor of undurable appends;
+#: always-sync pays an fsync per op, so it only gets a collapse floor.
+MIN_OPS_PER_SEC = {"baseline": 500.0, "interval": 200.0, "always": 25.0}
+#: 10k-op replay is linear graph rebuilding; minutes would mean a bug.
+MAX_RECOVERY_SECONDS = 60.0
+OUTPUT = Path(__file__).resolve().parent / "BENCH_wal.json"
+
+
+def _make_graph(name: str, spread: int) -> LabeledGraph:
+    graph = LabeledGraph(name=name)
+    n = 3 + spread % 4
+    for i in range(n):
+        graph.add_vertex(i, label="C" if i % 2 else "N")
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def _run_mutations(database, handle_to_id, id_to_handle, n_ops) -> float:
+    """Apply ``n_ops`` add/remove mutations; returns elapsed seconds."""
+    start = time.perf_counter()
+    for i in range(n_ops):
+        if i % 5 == 4 and handle_to_id:
+            handle = next(iter(handle_to_id))
+            apply_mutation(
+                database, RemoveOp(handle), handle_to_id, id_to_handle
+            )
+        else:
+            apply_mutation(
+                database,
+                AddOp(f"g{i}", _make_graph(f"g{i}", i)),
+                handle_to_id,
+                id_to_handle,
+            )
+    return time.perf_counter() - start
+
+
+def _bench_append(tmp_path: Path, sync: str | None) -> dict:
+    database = GraphDatabase(name="bench")
+    handle_to_id: dict[str, int] = {}
+    id_to_handle: dict[int, str] = {}
+    log = None
+    if sync is not None:
+        log = DurableLog.open(tmp_path / f"wal-{sync}", sync=sync)
+        log.initialize(database, handle_to_id)
+        database.attach_wal(log)
+    ops = APPEND_OPS if sync != "always" else APPEND_OPS // 4
+    elapsed = _run_mutations(database, handle_to_id, id_to_handle, ops)
+    if log is not None:
+        log.close()
+    return {
+        "ops": ops,
+        "seconds": elapsed,
+        "ops_per_sec": ops / elapsed,
+    }
+
+
+@pytest.mark.benchmark(group="a11-wal")
+def test_wal_append_throughput_and_recovery(tmp_path):
+    report: dict = {
+        "append": {
+            "baseline": _bench_append(tmp_path, None),
+            "interval": _bench_append(tmp_path, "interval:0.1"),
+            "always": _bench_append(tmp_path, "always"),
+        }
+    }
+    for name, floor in MIN_OPS_PER_SEC.items():
+        observed = report["append"][name]["ops_per_sec"]
+        assert observed >= floor, (
+            f"{name} mutation throughput collapsed: "
+            f"{observed:.1f} ops/s < floor {floor}"
+        )
+
+    # Recovery: replay a 10k-op log (sync=none — building it fast is
+    # fine, recovery cost is independent of the append sync policy).
+    data_dir = tmp_path / "wal-recovery"
+    database = GraphDatabase(name="bench")
+    handle_to_id: dict[str, int] = {}
+    id_to_handle: dict[int, str] = {}
+    log = DurableLog.open(data_dir, sync="none")
+    log.initialize(database, handle_to_id)
+    database.attach_wal(log)
+    _run_mutations(database, handle_to_id, id_to_handle, RECOVERY_OPS)
+    log.close()
+
+    start = time.perf_counter()
+    state = recover(data_dir)
+    recovery_seconds = time.perf_counter() - start
+    assert state.last_lsn == RECOVERY_OPS
+    assert len(state.database) == len(database)
+    assert recovery_seconds <= MAX_RECOVERY_SECONDS, (
+        f"10k-op recovery took {recovery_seconds:.1f}s "
+        f"(> {MAX_RECOVERY_SECONDS}s floor)"
+    )
+    report["recovery"] = {
+        "ops": RECOVERY_OPS,
+        "seconds": recovery_seconds,
+        "ops_per_sec": RECOVERY_OPS / recovery_seconds,
+        "recovered_graphs": len(state.database),
+    }
+    report["floors"] = {
+        "min_ops_per_sec": MIN_OPS_PER_SEC,
+        "max_recovery_seconds": MAX_RECOVERY_SECONDS,
+    }
+
+    OUTPUT.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    always = report["append"]["always"]["ops_per_sec"]
+    interval = report["append"]["interval"]["ops_per_sec"]
+    print(
+        f"\nWAL append: always {always:.0f} ops/s, interval "
+        f"{interval:.0f} ops/s "
+        f"(x{interval / always:.1f}); recovery of {RECOVERY_OPS} ops in "
+        f"{recovery_seconds:.2f}s"
+    )

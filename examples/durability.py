@@ -1,0 +1,86 @@
+"""Durability walkthrough: write-ahead logging, crash recovery,
+point-in-time restore.
+
+Every mutation is appended to an on-disk WAL *before* it is applied
+(write-ahead), so a crash at any instant loses at most the un-synced
+tail. This example:
+
+1. attaches a :class:`~repro.db.DurableLog` to a sharded store and runs
+   mutations through the acked op layer (each ack carries its LSN);
+2. simulates a crash by dropping the in-memory store, then
+   :func:`~repro.db.recover`\\ s an identical store from disk;
+3. rewinds to an earlier LSN — point-in-time restore;
+4. compacts the log into a snapshot and shows appends continuing.
+
+Run:  python examples/durability.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api.ops import AddOp, RemoveOp, apply_mutation
+from repro.db import DurableLog, recover
+from repro.graph import LabeledGraph
+from repro.shard.store import ShardedGraphDatabase
+
+
+def molecule(name: str, atoms: str) -> LabeledGraph:
+    graph = LabeledGraph(name=name)
+    for i, label in enumerate(atoms):
+        graph.add_vertex(i, label=label)
+    for i in range(len(atoms) - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def main() -> None:
+    data_dir = Path(tempfile.mkdtemp(prefix="repro-wal-")) / "data"
+
+    # 1. A durable sharded store: open a log, snapshot the (empty)
+    # store, attach. From here on every mutation is logged first.
+    database = ShardedGraphDatabase(shards=2, name="compounds")
+    log = DurableLog.open(data_dir, sync="always", segments=2)
+    handles: dict[str, int] = {}
+    back: dict[int, str] = {}
+    log.initialize(database, handles)
+    database.attach_wal(log)
+
+    for name, atoms in [
+        ("ethanol", "CCO"),
+        ("propanol", "CCCO"),
+        ("butane", "CCCC"),
+    ]:
+        ack = apply_mutation(database, AddOp(name, molecule(name, atoms)),
+                             handles, back)
+        print(f"acked {name!r}: lsn={ack['lsn']} (durable once acked)")
+    ack = apply_mutation(database, RemoveOp("butane"), handles, back)
+    print(f"acked remove: lsn={ack['lsn']}")
+
+    # 2. Crash. The process state is gone; the log is not.
+    del database, handles, back
+    state = recover(data_dir)
+    print(f"\nrecovered to lsn {state.last_lsn}: "
+          f"{sorted(state.handle_to_id)} "
+          f"({type(state.database).__name__}, "
+          f"{state.database.shard_count} shards)")
+
+    # 3. Point-in-time: the state as of lsn 3, before the remove.
+    past = recover(data_dir, upto_lsn=3)
+    print(f"as of lsn 3: {sorted(past.handle_to_id)}")
+
+    # 4. Compaction folds the log into a snapshot; appends continue.
+    log = DurableLog.open(data_dir)
+    state = log.recover()
+    log.compact_from(state.database, state.handle_to_id)
+    database = state.database
+    database.attach_wal(log)
+    ack = apply_mutation(database, AddOp("pentane", molecule("p", "CCCCC")),
+                         state.handle_to_id, state.id_to_handle)
+    print(f"\ncompacted at lsn {log.base_lsn}; next ack lsn={ack['lsn']}")
+    log.close()
+    final = recover(data_dir)
+    print(f"final recovery: {sorted(final.handle_to_id)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, ClassVar
 
-from repro.errors import QueryError, SerializationError
+from repro.errors import QueryError, SerializationError, StaleHandleError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.serialization import graph_from_dict, graph_to_dict
 
@@ -173,6 +173,62 @@ def applicable(op: MutationOp, handles: dict[str, int]) -> bool:
     return op.handle in handles and op.new_handle not in handles
 
 
+def check_applicable(op: MutationOp, handles: dict[str, int]) -> None:
+    """Raise the precise applicability error for ``op``, if any.
+
+    Dead source handles raise :class:`~repro.errors.StaleHandleError`
+    (the server maps it to a structured ``stale-handle`` 409); duplicate
+    target handles raise a plain :class:`~repro.errors.QueryError`
+    conflict.
+    """
+    if isinstance(op, AddOp):
+        if op.handle in handles:
+            raise QueryError(
+                f"mutation 'add' not applicable: handle {op.handle!r} "
+                f"already live"
+            )
+    elif isinstance(op, RemoveOp):
+        if op.handle not in handles:
+            raise StaleHandleError(op.op, op.handle)
+    else:
+        assert isinstance(op, RelabelOp)
+        if op.handle not in handles:
+            raise StaleHandleError(op.op, op.handle)
+        if op.new_handle in handles:
+            raise QueryError(
+                f"mutation 'relabel' not applicable: target handle "
+                f"{op.new_handle!r} already live"
+            )
+
+
+def _log_op(database: "Any", op: MutationOp, handle_to_id: dict[str, int]) -> int:
+    """Append the one WAL record this op commits as; returns its LSN.
+
+    The record is the wire payload extended with the ids the apply is
+    about to assign (predictable before any state changes: removal never
+    advances the allocator, so the next un-forced insert takes
+    ``database.next_id``) — replay forces those ids so handle maps,
+    indexes and shard placement rebuild exactly.
+    """
+    wal = database.wal
+    payload = op.to_dict()
+    if isinstance(op, AddOp):
+        graph_id = database.next_id
+        payload["graph_id"] = graph_id
+        segment = database.wal_segment_for_insert(op.graph, graph_id)
+    elif isinstance(op, RemoveOp):
+        graph_id = handle_to_id[op.handle]
+        payload["graph_id"] = graph_id
+        segment = database.wal_segment(graph_id)
+    else:
+        assert isinstance(op, RelabelOp)
+        old_id = handle_to_id[op.handle]
+        payload["graph_id"] = old_id
+        payload["new_graph_id"] = database.next_id
+        segment = database.wal_segment(old_id)
+    return wal.append(payload, database.version + 1, segment)
+
+
 def apply_mutation(
     database: "Any",
     op: MutationOp,
@@ -183,44 +239,62 @@ def apply_mutation(
 
     Returns an acknowledgement payload (op, handle(s), the affected
     database id, and the resulting database size). Raises
+    :class:`~repro.errors.StaleHandleError` /
     :class:`~repro.errors.QueryError` when :func:`applicable` is false —
     dead or duplicate handles never silently no-op here.
+
+    With a :class:`~repro.db.wal.DurableLog` attached to ``database``,
+    one record per op (including relabel, logged compound rather than as
+    its remove + insert halves) is appended *before* anything applies;
+    the ack then carries the committed ``lsn``, durable to whatever the
+    log's sync policy promises by the time this returns.
     """
-    if not applicable(op, handle_to_id):
-        raise QueryError(
-            f"mutation {op.op!r} not applicable: handle "
-            f"{op.handle!r} {'already live' if isinstance(op, AddOp) else 'not live'}"
-            if not isinstance(op, RelabelOp)
-            or op.handle not in handle_to_id
-            else f"mutation 'relabel' not applicable: target handle "
-            f"{op.new_handle!r} already live"
-        )
+    check_applicable(op, handle_to_id)
+    wal = getattr(database, "wal", None)
+    lsn = None
+    if wal is not None and not wal.suppressed:
+        lsn = _log_op(database, op, handle_to_id)
+        with wal.suppress():
+            ack = _apply_checked(database, op, handle_to_id, id_to_handle)
+    else:
+        ack = _apply_checked(database, op, handle_to_id, id_to_handle)
+    if lsn is not None:
+        ack["lsn"] = lsn
+        if wal.should_compact():
+            wal.compact_from(database, handle_to_id)
+    ack["database_size"] = len(database)
+    return ack
+
+
+def _apply_checked(
+    database: "Any",
+    op: MutationOp,
+    handle_to_id: dict[str, int],
+    id_to_handle: dict[int, str],
+) -> dict[str, Any]:
     if isinstance(op, AddOp):
         graph_id = database.insert(op.graph)
         handle_to_id[op.handle] = graph_id
         id_to_handle[graph_id] = op.handle
-        ack = {"op": op.op, "handle": op.handle, "graph_id": graph_id}
-    elif isinstance(op, RemoveOp):
+        return {"op": op.op, "handle": op.handle, "graph_id": graph_id}
+    if isinstance(op, RemoveOp):
         graph_id = handle_to_id.pop(op.handle)
         del id_to_handle[graph_id]
         database.remove(graph_id)
-        ack = {"op": op.op, "handle": op.handle, "graph_id": graph_id}
-    else:
-        assert isinstance(op, RelabelOp)
-        old_id = handle_to_id.pop(op.handle)
-        relabeled = relabeled_copy(
-            database.get(old_id), op.vertex_index, op.label, op.new_handle
-        )
-        del id_to_handle[old_id]
-        database.remove(old_id)
-        new_id = database.insert(relabeled)
-        handle_to_id[op.new_handle] = new_id
-        id_to_handle[new_id] = op.new_handle
-        ack = {
-            "op": op.op,
-            "handle": op.handle,
-            "new_handle": op.new_handle,
-            "graph_id": new_id,
-        }
-    ack["database_size"] = len(database)
-    return ack
+        return {"op": op.op, "handle": op.handle, "graph_id": graph_id}
+    assert isinstance(op, RelabelOp)
+    old_id = handle_to_id.pop(op.handle)
+    relabeled = relabeled_copy(
+        database.get(old_id), op.vertex_index, op.label, op.new_handle
+    )
+    del id_to_handle[old_id]
+    database.remove(old_id)
+    new_id = database.insert(relabeled)
+    handle_to_id[op.new_handle] = new_id
+    id_to_handle[new_id] = op.new_handle
+    return {
+        "op": op.op,
+        "handle": op.handle,
+        "new_handle": op.new_handle,
+        "graph_id": new_id,
+    }

@@ -178,9 +178,50 @@ def _remap_backend(workload, backend: str):
     return Workload(seed=workload.seed, steps=tuple(map(remap, workload.steps)))
 
 
+def _cmd_fuzz_kill_recover(args: argparse.Namespace) -> int:
+    """``fuzz --kill-recover``: SIGKILL-mid-workload durability fuzzing."""
+    from repro.testkit import format_repro
+    from repro.testkit.crash import KILL_RECOVER_SYNCS, fuzz_kill_recover
+
+    if args.replay or args.fault or args.backend:
+        print("error: --kill-recover is incompatible with "
+              "--replay/--fault/--backend", file=sys.stderr)
+        return 2
+    seeds = [args.seed]
+    if args.corpus:
+        corpus = json.loads(Path(args.corpus).read_text(encoding="utf-8"))
+        seeds = [entry["seed"] for entry in corpus]
+    syncs = (args.sync,) if args.sync else KILL_RECOVER_SYNCS
+    for seed in seeds:
+        failure = fuzz_kill_recover(
+            seed,
+            n_steps=args.steps,
+            shards=args.shards,
+            syncs=syncs,
+            kill_at=args.kill_at,
+            shrink=not args.no_shrink,
+            log=print,
+        )
+        if failure is None:
+            continue
+        report, workload = failure
+        print(f"seed {seed}: {report.summary()}", file=sys.stderr)
+        if args.save_failure:
+            Path(args.save_failure).write_text(
+                workload.to_json(indent=1), encoding="utf-8"
+            )
+            print(f"wrote failing workload to {args.save_failure}",
+                  file=sys.stderr)
+        print(format_repro(workload, report.divergence), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.testkit import Workload, generate_workload
 
+    if args.kill_recover:
+        return _cmd_fuzz_kill_recover(args)
     workloads = []
     if args.replay:
         payload = Path(args.replay).read_text(encoding="utf-8")
@@ -247,6 +288,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
         max_watches=args.max_watches,
         token=args.token,
+        data_dir=args.data_dir,
+        sync=args.sync,
+        compact_every=args.compact_every,
     )
     server = QueryServer(database, config)
 
@@ -273,6 +317,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
     print("server stopped", flush=True)
+    return 0
+
+
+def _cmd_wal(args: argparse.Namespace) -> int:
+    from repro.db.wal import DurableLog
+
+    if args.wal_command == "inspect":
+        log = DurableLog.open(args.data_dir)
+        try:
+            state = log.recover()
+            records = log.records()
+            print(f"WAL at {args.data_dir}:")
+            print(f"  segments: {log.segments}")
+            print(f"  snapshot base lsn: {log.base_lsn}")
+            print(f"  live records: {len(records)} "
+                  f"(lsn {log.base_lsn + 1}..{log.last_lsn})"
+                  if records else "  live records: 0")
+            if not log.repair.clean:
+                print(f"  repaired on open: {log.repair.torn_records} torn, "
+                      f"{log.repair.stale_records} stale, "
+                      f"{log.repair.orphaned_records} orphaned")
+            print(f"  recovered store: {len(state.database)} graphs "
+                  f"({type(state.database).__name__}), "
+                  f"{len(state.handle_to_id)} handles")
+            if args.verbose:
+                for record in records:
+                    op = record["op"]
+                    print(f"  lsn {record['lsn']}: {op['op']} "
+                          f"graph_id={op.get('graph_id')} "
+                          f"handle={op.get('handle')}")
+        finally:
+            log.close()
+        return 0
+    if args.wal_command == "compact":
+        log = DurableLog.open(args.data_dir)
+        try:
+            state = log.recover()
+            before = len(log.records())
+            log.compact_from(state.database, state.handle_to_id)
+            print(f"folded {before} records into snapshot at "
+                  f"lsn {log.base_lsn} ({len(state.database)} graphs)")
+        finally:
+            log.close()
+        return 0
+    assert args.wal_command == "restore"
+    log = DurableLog.open(args.data_dir)
+    try:
+        state = log.recover(upto_lsn=args.lsn)
+    finally:
+        log.close()
+    save_database(state.database, args.output)
+    point = f"lsn {state.last_lsn}" if args.lsn is not None else "head"
+    print(f"restored {len(state.database)} graphs at {point} "
+          f"to {args.output}")
     return 0
 
 
@@ -405,7 +503,47 @@ def build_parser() -> argparse.ArgumentParser:
                             "workload of N graphs (default: 24)")
     p_srv.add_argument("--seed", type=int, default=7,
                        help="synthetic workload seed (default: 7)")
+    p_srv.add_argument("--data-dir", default=None,
+                       help="durability: write-ahead-log directory; "
+                            "mutations are acked only once logged, and "
+                            "an existing log is recovered and served "
+                            "instead of the seed corpus")
+    p_srv.add_argument("--sync", default="always",
+                       help="WAL sync policy: always, interval[:seconds] "
+                            "or none (default: always)")
+    p_srv.add_argument("--compact-every", type=int, default=1000,
+                       help="fold the WAL into a fresh snapshot every N "
+                            "mutations; 0 disables (default: 1000)")
     p_srv.set_defaults(handler=_cmd_serve)
+
+    p_wal = sub.add_parser(
+        "wal",
+        help="inspect / compact / restore a write-ahead-log directory",
+    )
+    wal_sub = p_wal.add_subparsers(dest="wal_command", required=True)
+    p_wal_inspect = wal_sub.add_parser(
+        "inspect", help="summarize the log and the state it recovers to"
+    )
+    p_wal_inspect.add_argument("data_dir")
+    p_wal_inspect.add_argument("--verbose", action="store_true",
+                               help="also print every live record")
+    p_wal_inspect.set_defaults(handler=_cmd_wal)
+    p_wal_compact = wal_sub.add_parser(
+        "compact", help="fold the log into a fresh atomic snapshot"
+    )
+    p_wal_compact.add_argument("data_dir")
+    p_wal_compact.set_defaults(handler=_cmd_wal)
+    p_wal_restore = wal_sub.add_parser(
+        "restore",
+        help="write the recovered database (optionally at a past LSN) "
+             "to a JSON file",
+    )
+    p_wal_restore.add_argument("data_dir")
+    p_wal_restore.add_argument("output", help="database JSON output path")
+    p_wal_restore.add_argument("--lsn", type=int, default=None,
+                               help="point-in-time: stop replay at this "
+                                    "LSN (default: replay everything)")
+    p_wal_restore.set_defaults(handler=_cmd_wal)
 
     p_desc = sub.add_parser("describe", help="database statistics")
     p_desc.add_argument("database")
@@ -448,6 +586,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report the first divergence without minimizing")
     p_fuzz.add_argument("--save-failure", default=None,
                         help="write the (shrunk) failing workload JSON here")
+    p_fuzz.add_argument("--kill-recover", action="store_true",
+                        help="durability mode: fork a mutating child, "
+                             "SIGKILL it at a seeded step, recover from "
+                             "the WAL and differentially check the "
+                             "recovered store (see repro.testkit.crash)")
+    p_fuzz.add_argument("--shards", type=int, default=2,
+                        help="kill-recover: shard count of the durable "
+                             "store (default: 2)")
+    p_fuzz.add_argument("--sync", default=None,
+                        help="kill-recover: run one sync policy instead "
+                             "of the full always/interval/none rotation")
+    p_fuzz.add_argument("--kill-at", type=int, default=None,
+                        help="kill-recover: kill after this many applied "
+                             "ops (default: derived from the seed)")
     p_fuzz.set_defaults(handler=_cmd_fuzz)
 
     return parser

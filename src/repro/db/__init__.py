@@ -13,11 +13,13 @@ from repro.db.stats import PhaseTimer, QueryStats
 from repro.db.executor import ExecutionResult, SkylineExecutor
 from repro.db.cache import PairCache, QueryCache
 from repro.db.persistence import (
+    atomic_write_text,
     database_from_dict,
     database_to_dict,
     load_database,
     save_database,
 )
+from repro.db.wal import DurableLog, RecoveredState, SyncPolicy, recover
 
 __all__ = [
     "GraphDatabase",
@@ -33,4 +35,9 @@ __all__ = [
     "database_from_dict",
     "save_database",
     "load_database",
+    "atomic_write_text",
+    "DurableLog",
+    "RecoveredState",
+    "SyncPolicy",
+    "recover",
 ]

@@ -10,12 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING
 
 from repro.errors import DatasetError, VertexNotFoundError
 from repro.graph.canonical import canonical_hash
 from repro.graph.features import GraphFeatures
 from repro.graph.isomorphism import is_isomorphic
 from repro.graph.labeled_graph import LabeledGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.wal import DurableLog
 
 
 @dataclass
@@ -43,6 +47,7 @@ class GraphDatabase:
         self._next_id = 0
         self._version = 0
         self._vertex_load = 0
+        self._wal: "DurableLog | None" = None
 
     @property
     def vertex_load(self) -> int:
@@ -63,6 +68,81 @@ class GraphDatabase:
         call ``refresh_index()`` after mutating the database.
         """
         return self._version
+
+    @property
+    def next_id(self) -> int:
+        """The id the next un-forced :meth:`insert` will assign."""
+        return self._next_id
+
+    def reserve_ids(self, next_id: int) -> None:
+        """Bump the id allocator to at least ``next_id``.
+
+        Snapshot restore calls this so ids freed by pre-snapshot removals
+        are never reused — reuse would break handle bookkeeping and make
+        hash placement land replayed graphs on the wrong shard.
+        """
+        self._next_id = max(self._next_id, next_id)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def wal(self) -> "DurableLog | None":
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    def attach_wal(self, log: "DurableLog") -> None:
+        """Make every subsequent mutation append-before-apply to ``log``.
+
+        The log must already reflect this database's current state (a
+        fresh :meth:`~repro.db.wal.DurableLog.initialize` snapshot of it,
+        or the :meth:`~repro.db.wal.DurableLog.recover` replay that built
+        it) — attaching does not retroactively journal existing entries.
+        """
+        self._wal = log
+
+    def detach_wal(self) -> "DurableLog | None":
+        """Stop journaling; returns the previously attached log."""
+        log, self._wal = self._wal, None
+        return log
+
+    def wal_segment(self, graph_id: int) -> int:
+        """WAL segment for records about an existing ``graph_id``."""
+        return 0
+
+    def wal_segment_for_insert(self, graph: LabeledGraph, graph_id: int) -> int:
+        """WAL segment for a record inserting ``graph`` as ``graph_id``."""
+        return 0
+
+    def _log_mutation(self, op_payload: dict, segment: int) -> int | None:
+        """Append one record for a mutation about to be applied.
+
+        Returns its LSN, or ``None`` when no log is attached or the op
+        layer is logging a compound record itself
+        (:meth:`~repro.db.wal.DurableLog.suppress`). Raising here aborts
+        the mutation before any state changes — write-ahead means a
+        mutation the log rejected never happened.
+        """
+        if self._wal is None or self._wal.suppressed:
+            return None
+        return self._wal.append(op_payload, self._version + 1, segment)
+
+    def _insert_payload(
+        self,
+        graph: LabeledGraph,
+        metadata: Mapping[str, object] | None,
+        graph_id: int,
+    ) -> dict:
+        from repro.graph.serialization import graph_to_dict
+
+        payload: dict = {
+            "op": "add",
+            "graph": graph_to_dict(graph),
+            "graph_id": graph_id,
+        }
+        if metadata:
+            payload["metadata"] = dict(metadata)
+        return payload
 
     @classmethod
     def from_graphs(
@@ -105,8 +185,14 @@ class GraphDatabase:
         """
         if graph_id is not None and graph_id in self._entries:
             raise DatasetError(f"graph id {graph_id} is already in the database")
+        new_id = self._next_id if graph_id is None else graph_id
+        if self._wal is not None and not self._wal.suppressed:
+            self._log_mutation(
+                self._insert_payload(graph, metadata, new_id),
+                self.wal_segment_for_insert(graph, new_id),
+            )
         entry = StoredGraph(
-            graph_id=self._next_id if graph_id is None else graph_id,
+            graph_id=new_id,
             graph=graph.copy() if copy else graph,
             features=GraphFeatures.of(graph),
             iso_hash=canonical_hash(graph),
@@ -121,9 +207,12 @@ class GraphDatabase:
 
     def remove(self, graph_id: int) -> None:
         """Delete the graph with ``graph_id``."""
-        entry = self._entries.pop(graph_id, None)
-        if entry is None:
+        if graph_id not in self._entries:
             raise DatasetError(f"graph id {graph_id} is not in the database")
+        self._log_mutation(
+            {"op": "remove", "graph_id": graph_id}, self.wal_segment(graph_id)
+        )
+        entry = self._entries.pop(graph_id)
         bucket = self._by_hash[entry.iso_hash]
         bucket.remove(graph_id)
         if not bucket:

@@ -20,13 +20,46 @@ restores the stored ids exactly (what deterministic re-sharding needs).
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
 from repro.errors import SerializationError
 from repro.db.database import GraphDatabase
 from repro.graph.serialization import graph_from_dict, graph_to_dict
+
+
+def atomic_write_text(path: "str | Path", text: str) -> None:
+    """Replace ``path``'s contents all-or-nothing.
+
+    Writes to a temp file *in the target directory* (so the rename never
+    crosses filesystems), fsyncs it, ``os.replace``s it into place, then
+    fsyncs the directory — a crash at any instant leaves either the old
+    file or the new one, never a truncated hybrid. Used by snapshot
+    saves and every WAL control file.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(tmp_name)
+        raise
+    dir_fd = os.open(target.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def database_to_dict(database: GraphDatabase) -> dict[str, Any]:
@@ -72,7 +105,12 @@ def database_from_dict(
 
 
 def save_database(database: GraphDatabase, path: "str | Path") -> None:
-    """Write ``database`` to ``path`` as JSON."""
+    """Write ``database`` to ``path`` as JSON, atomically.
+
+    The serialized payload lands via temp-file + ``os.replace``
+    (:func:`atomic_write_text`), so a crash mid-save leaves the previous
+    snapshot intact instead of a truncated file.
+    """
     payload = database_to_dict(database)
     try:
         text = json.dumps(payload, indent=1)
@@ -80,7 +118,7 @@ def save_database(database: GraphDatabase, path: "str | Path") -> None:
         raise SerializationError(
             f"database contains non-JSON-serializable ids/labels: {exc}"
         ) from exc
-    Path(path).write_text(text, encoding="utf-8")
+    atomic_write_text(path, text)
 
 
 def load_database(

@@ -74,6 +74,34 @@ class SerializationError(ReproError, ValueError):
     """A graph payload could not be (de)serialized."""
 
 
+class StaleHandleError(QueryError):
+    """A mutation referenced a handle that no longer resolves.
+
+    Raised by :func:`repro.api.ops.apply_mutation` when the source handle
+    of a ``remove``/``relabel`` is not live — distinct from a duplicate
+    handle on ``add`` so the server can answer a structured
+    ``stale-handle`` conflict instead of a generic error.
+    """
+
+    def __init__(self, op: str, handle: object) -> None:
+        super().__init__(
+            f"mutation {op!r} references handle {handle!r}, "
+            f"which no longer resolves"
+        )
+        self.op = op
+        self.handle = handle
+
+
+class WalCorruptionError(SerializationError):
+    """A write-ahead log segment is corrupt beyond its torn tail.
+
+    A partial or checksum-failed *final* record is expected after a
+    crash and silently truncated on open; a bad record with valid
+    records after it means lost or mangled history, which recovery must
+    refuse to paper over.
+    """
+
+
 class DeadlineExceeded(ReproError, TimeoutError):
     """A query's deadline expired before evaluation finished.
 

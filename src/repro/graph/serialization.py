@@ -37,6 +37,11 @@ def graph_to_dict(graph: LabeledGraph) -> dict[str, Any]:
 
 def graph_from_dict(payload: dict[str, Any]) -> LabeledGraph:
     """Rebuild a graph from :func:`graph_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"malformed graph payload: expected an object, "
+            f"got {type(payload).__name__}"
+        )
     try:
         graph = LabeledGraph(name=payload.get("name"))
         for vertex, label in payload["vertices"]:

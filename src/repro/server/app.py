@@ -37,13 +37,20 @@ import dataclasses
 import threading
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.api.ops import MutationOp, apply_mutation, mutation_from_dict
 from repro.api.session import Session
 from repro.api.spec import GraphQuery
+from repro.db.wal import MANIFEST_NAME, DurableLog
 from repro.engine.deadline import Deadline, deadline_scope
-from repro.errors import DeadlineExceeded, QueryError, SerializationError
+from repro.errors import (
+    DeadlineExceeded,
+    QueryError,
+    SerializationError,
+    StaleHandleError,
+)
 from repro.server.admission import AdmissionController, AdmissionRejected
 from repro.server.protocol import (
     ProtocolError,
@@ -83,6 +90,19 @@ class ServerConfig:
     #: Optional bearer token; when set, every endpoint except
     #: ``/v1/health`` requires ``Authorization: Bearer <token>``.
     token: str | None = None
+    #: Durability: directory of the write-ahead log. ``None`` serves the
+    #: corpus in memory only (the historical behaviour); a path makes
+    #: every ``/v1/mutate`` append-before-apply, so the ack — carrying
+    #: the committed ``lsn`` — is only sent once the record is as
+    #: durable as :attr:`sync` promises. If the directory already holds
+    #: a log, the server *recovers from it* and serves the recovered
+    #: store instead of the passed corpus (which was only the first
+    #: boot's seed).
+    data_dir: str | None = None
+    #: WAL sync policy: ``always``, ``interval[:seconds]``, or ``none``.
+    sync: str = "always"
+    #: Fold the log into a fresh snapshot every N mutations (0: never).
+    compact_every: int = 1000
 
 
 class _ReadWriteLock:
@@ -173,7 +193,20 @@ class QueryServer:
             database, ShardedGraphDatabase
         ):
             database = ShardedGraphDatabase.from_database(database, shards=2)
+        self.wal: DurableLog | None = None
+        self._handles = _HandleBook()
+        if config.data_dir is not None:
+            database = self._open_durable(database, config)
         self.database = database
+        if not self._handles.handle_to_id:
+            for graph_id in database.ids():
+                name = database.get(graph_id).name or f"#{graph_id}"
+                self._handles.handle_to_id.setdefault(name, graph_id)
+                self._handles.id_to_handle[graph_id] = name
+        if self.wal is not None and not self.wal.has_state:
+            self.wal.initialize(database, self._handles.handle_to_id)
+        if self.wal is not None:
+            database.attach_wal(self.wal)
         from repro.db.cache import PairCache
 
         self.cache = PairCache()
@@ -182,11 +215,6 @@ class QueryServer:
         )
         self.hub = WatchHub(config.max_watches)
         self.counters = _Counters()
-        self._handles = _HandleBook()
-        for graph_id in database.ids():
-            name = database.get(graph_id).name or f"#{graph_id}"
-            self._handles.handle_to_id.setdefault(name, graph_id)
-            self._handles.id_to_handle[graph_id] = name
 
         self._db_lock = _ReadWriteLock()
         self._sessions: dict[str, Session] = {}
@@ -204,6 +232,34 @@ class QueryServer:
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task[None]] = set()
         self.port: int | None = None
+
+    def _open_durable(
+        self, database: "GraphDatabase", config: ServerConfig
+    ) -> "GraphDatabase":
+        """Open (or recover) the WAL at ``config.data_dir``.
+
+        An already-initialized log wins over the passed corpus: the
+        recovered store — snapshot plus every surviving logged mutation —
+        is what clients last acknowledged, and its handle book replaces
+        the name-derived seeding.
+        """
+        assert config.data_dir is not None
+        existing = (Path(config.data_dir) / MANIFEST_NAME).exists()
+        self.wal = DurableLog.open(
+            config.data_dir,
+            sync=config.sync,
+            segments=None
+            if existing
+            else getattr(database, "shard_count", 1),
+            compact_every=config.compact_every,
+        )
+        if existing:
+            state = self.wal.recover()
+            self._handles = _HandleBook(
+                state.handle_to_id, state.id_to_handle
+            )
+            return state.database
+        return database
 
     # -- shared-state helpers (called from executor threads) -------------
     def _session(self, backend_name: str) -> Session:
@@ -331,16 +387,22 @@ class QueryServer:
 
     # -- handlers ---------------------------------------------------------
     async def _handle_health(self, request: Request) -> dict[str, Any]:
-        return {
+        payload = {
             "ok": True,
             "graphs": len(self.database),
             "backend": self.config.backend,
             "shards": getattr(self.database, "shard_count", 1),
             "version": self.database.version,
         }
+        if self.wal is not None:
+            payload["durability"] = {
+                "sync": self.config.sync,
+                "last_lsn": self.wal.last_lsn,
+            }
+        return payload
 
     async def _handle_stats(self, request: Request) -> dict[str, Any]:
-        return {
+        payload = {
             "admission": self.admission.snapshot(),
             "watches": self.hub.snapshot(),
             "counters": self.counters.snapshot(),
@@ -351,6 +413,16 @@ class QueryServer:
             },
             "backends": sorted(self._sessions),
         }
+        if self.wal is not None:
+            payload["durability"] = {
+                "data_dir": str(self.wal.data_dir),
+                "sync": self.config.sync,
+                "segments": self.wal.segments,
+                "last_lsn": self.wal.last_lsn,
+                "base_lsn": self.wal.base_lsn,
+                "ops_since_compact": self.wal.ops_since_compact,
+            }
+        return payload
 
     async def _handle_query(self, request: Request) -> dict[str, Any]:
         spec = self._parse_spec(request.json())
@@ -402,6 +474,11 @@ class QueryServer:
             ack = await loop.run_in_executor(
                 self._service_executor, self._apply_mutation, op
             )
+        except StaleHandleError as exc:
+            self.counters.mutations_rejected += 1
+            raise ProtocolError(
+                "stale-handle", str(exc), op=exc.op, handle=str(exc.handle)
+            ) from exc
         except QueryError as exc:
             self.counters.mutations_rejected += 1
             raise ProtocolError("conflict", str(exc)) from exc
@@ -590,6 +667,11 @@ class QueryServer:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._query_executor.shutdown(wait=True, cancel_futures=True)
         self._service_executor.shutdown(wait=True, cancel_futures=True)
+        if self.wal is not None:
+            # After the service executor drained: no in-flight mutation
+            # can append once we fsync-and-close.
+            self.database.detach_wal()
+            self.wal.close()
         with self._sessions_guard:
             sessions, self._sessions = dict(self._sessions), {}
         for session in sessions.values():

@@ -35,6 +35,7 @@ ERROR_STATUS: dict[str, int] = {
     "not-found": 404,
     "method-not-allowed": 405,
     "conflict": 409,
+    "stale-handle": 409,
     "payload-too-large": 413,
     "queue-full": 429,
     "query-error": 400,

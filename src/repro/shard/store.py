@@ -162,6 +162,10 @@ class ShardedGraphDatabase(GraphDatabase):
                 f"placement {self.placement.name!r} chose shard {index} "
                 f"of {len(self._shards)}"
             )
+        if self._wal is not None and not self._wal.suppressed:
+            self._log_mutation(
+                self._insert_payload(graph, metadata, new_id), segment=index
+            )
         self._shards[index].insert(graph, metadata, copy=copy, graph_id=new_id)
         self._shard_of[new_id] = index
         self._next_id = max(self._next_id, new_id) + 1
@@ -169,11 +173,56 @@ class ShardedGraphDatabase(GraphDatabase):
         return new_id
 
     def remove(self, graph_id: int) -> None:
-        index = self._shard_of.pop(graph_id, None)
+        index = self._shard_of.get(graph_id)
         if index is None:
             raise DatasetError(f"graph id {graph_id} is not in the database")
+        self._log_mutation({"op": "remove", "graph_id": graph_id}, segment=index)
+        del self._shard_of[graph_id]
         self._shards[index].remove(graph_id)
         self._version += 1
+
+    def restore_entry(
+        self,
+        shard_index: int,
+        graph: LabeledGraph,
+        metadata: Mapping[str, object] | None = None,
+        graph_id: int | None = None,
+        copy: bool = True,
+    ) -> int:
+        """Re-insert an entry into a *specific* shard, bypassing placement.
+
+        WAL snapshot restore uses this to put every graph back on the
+        shard that owned it at snapshot time — re-running placement would
+        be wrong for load-dependent policies, whose decision depended on
+        shard loads that no longer match the original insertion order.
+        """
+        if not 0 <= shard_index < len(self._shards):
+            raise DatasetError(
+                f"shard index {shard_index} out of range "
+                f"for {len(self._shards)} shards"
+            )
+        new_id = self._next_id if graph_id is None else graph_id
+        if new_id in self._shard_of:
+            raise DatasetError(f"graph id {new_id} is already in the database")
+        self._shards[shard_index].insert(
+            graph, metadata, copy=copy, graph_id=new_id
+        )
+        self._shard_of[new_id] = shard_index
+        self._next_id = max(self._next_id, new_id) + 1
+        self._version += 1
+        return new_id
+
+    # ------------------------------------------------------------------
+    # Durability (segment routing: one WAL segment per shard)
+    # ------------------------------------------------------------------
+    def wal_segment(self, graph_id: int) -> int:
+        return self.shard_of(graph_id)
+
+    def wal_segment_for_insert(self, graph: LabeledGraph, graph_id: int) -> int:
+        # Placement is deterministic given the id and the current shard
+        # state, so the insert that follows this routing decision lands
+        # on the same shard the record was filed under.
+        return self.placement.place(graph_id, graph, self._shards)
 
     # ------------------------------------------------------------------
     # Lookup (routed through the owning shard, global insertion order)

@@ -41,8 +41,18 @@ from repro.testkit.runner import (
     run_workload,
 )
 from repro.testkit.shrink import format_repro, shrink_workload
+from repro.testkit.crash import (
+    CrashReport,
+    fuzz_kill_recover,
+    generate_crash_workload,
+    run_kill_recover,
+)
 
 __all__ = [
+    "CrashReport",
+    "fuzz_kill_recover",
+    "generate_crash_workload",
+    "run_kill_recover",
     "Oracle",
     "Step",
     "AddGraph",

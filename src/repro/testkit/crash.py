@@ -1,0 +1,421 @@
+"""Kill-and-recover fuzzing: SIGKILL a mutating child, replay the WAL.
+
+The durability contract under test: a process killed at *any* instant
+recovers — from disk alone — to a state equal to some contiguous prefix
+of the mutations it acknowledged, and under ``sync=always`` to exactly
+the full acknowledged prefix (no acked write lost; no phantom write
+under any policy).
+
+One :func:`run_kill_recover` round:
+
+1. **Fork** a child (POSIX ``fork`` start method, so the workload needs
+   no pickling) that opens a fresh :class:`~repro.db.wal.DurableLog`,
+   applies the workload's mutation ops through the production
+   :func:`~repro.api.ops.apply_mutation` path, and appends one
+   fsynced acknowledgement line per applied op to an ack file — the
+   crash-safe record of what a client was told committed.
+2. The child **SIGKILLs itself** immediately after acknowledging its
+   ``kill_at``-th op (derived from the seed, so every round is exactly
+   reproducible), or ``os._exit``\\ s without closing the log when the
+   workload runs out first — either way the log is abandoned exactly as
+   a real crash leaves it, torn tails and unflushed buffers included.
+3. The parent **recovers** from the directory and differentially checks
+   the rebuilt store against an independent in-memory replay of the
+   first ``R`` applied ops (``R`` = recovered LSN): same ids, same
+   handle maps, same graph content (iso-hash per id), same shard
+   placement — then recovers *again* and requires the identical answer
+   (replay is read-only, so recover-twice must equal recover-once).
+
+Failures surface as the testkit's standard
+:class:`~repro.testkit.runner.Divergence`, and because a kill-recover
+workload is just mutation steps — which stay applicable under
+subsequence, the property the shrinker needs — a failing round ddmin-
+shrinks through the existing :func:`~repro.testkit.shrink.
+shrink_workload` like every other bug.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import signal
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.api.ops import MutationOp, applicable, apply_mutation
+from repro.db.database import GraphDatabase
+from repro.db.wal import DurableLog
+from repro.errors import QueryError
+from repro.shard.store import ShardedGraphDatabase
+from repro.testkit.runner import Divergence
+from repro.testkit.workload import (
+    AddGraph,
+    RelabelGraph,
+    RemoveGraph,
+    Step,
+    Workload,
+    generate_workload,
+)
+
+#: Sync policies a kill-recover round may run under, with what each lets
+#: the crash legitimately lose (nothing / the unsynced interval / the
+#: user-space buffer). ``always`` additionally asserts zero acked loss.
+KILL_RECOVER_SYNCS: tuple[str, ...] = ("always", "interval:0.05", "none")
+
+
+def mutation_steps(workload: Workload) -> tuple[Step, ...]:
+    """The workload's mutation ops, in order (queries etc. dropped).
+
+    The generator keeps mutation applicability dependent only on prior
+    *mutations*, so this filtered stream replays exactly as it would
+    inside the full workload — and any subsequence of it is again a
+    valid kill-recover workload (what ddmin needs).
+    """
+    return tuple(
+        step
+        for step in workload.steps
+        if isinstance(step, (AddGraph, RemoveGraph, RelabelGraph))
+    )
+
+
+def generate_crash_workload(
+    seed: int, n_steps: int = 200, max_vertices: int = 5
+) -> Workload:
+    """A mutation-only workload derived from ``seed`` (~40% of the mixed
+    generator's steps are mutations; the rest are filtered out)."""
+    full = generate_workload(seed, n_steps, max_vertices=max_vertices)
+    return Workload(seed=seed, steps=mutation_steps(full))
+
+
+def _fresh_store(shards: int) -> GraphDatabase:
+    if shards > 1:
+        return ShardedGraphDatabase(shards=shards, name="crashkit")
+    return GraphDatabase(name="crashkit")
+
+
+def replay_prefix(
+    steps: tuple[Step, ...], shards: int, upto_applied: int | None = None
+) -> tuple[GraphDatabase, dict[str, int], dict[int, str]]:
+    """Independently apply the first ``upto_applied`` applicable ops.
+
+    The differential oracle of recovery: a fresh store (no WAL) driven
+    through the same :func:`~repro.api.ops.apply_mutation` path the
+    child used, stopped after the same number of applied ops. Every id,
+    handle and placement decision is deterministic, so this is the
+    exact state the recovered store must equal.
+    """
+    database = _fresh_store(shards)
+    handle_to_id: dict[str, int] = {}
+    id_to_handle: dict[int, str] = {}
+    applied = 0
+    for step in steps:
+        if upto_applied is not None and applied >= upto_applied:
+            break
+        assert isinstance(step, MutationOp)
+        if not applicable(step, handle_to_id):
+            continue
+        apply_mutation(database, step, handle_to_id, id_to_handle)
+        applied += 1
+    return database, handle_to_id, id_to_handle
+
+
+def _store_fingerprint(
+    database: GraphDatabase, handle_to_id: dict[str, int]
+) -> list[str]:
+    """Order-independent lines describing store + handle map + placement.
+
+    Comparing fingerprints is the whole differential check, and the
+    lines double as the human-readable expected/actual of a
+    :class:`Divergence`.
+    """
+    lines = []
+    for graph_id in sorted(database.ids()):
+        entry = database.entry(graph_id)
+        shard = (
+            database.shard_of(graph_id)
+            if isinstance(database, ShardedGraphDatabase)
+            else 0
+        )
+        lines.append(
+            f"id={graph_id} shard={shard} iso={entry.iso_hash[:12]} "
+            f"order={entry.graph.order} size={entry.graph.size}"
+        )
+    for handle in sorted(handle_to_id):
+        lines.append(f"handle {handle}->{handle_to_id[handle]}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# The child
+# ----------------------------------------------------------------------
+def _child_main(
+    steps: tuple[Step, ...],
+    data_dir: str,
+    ack_path: str,
+    shards: int,
+    sync: str,
+    kill_at: int,
+) -> None:
+    """Apply ops, fsync-ack each, self-SIGKILL after the ``kill_at``-th.
+
+    Runs in the forked child. Any *unexpected* exception is written to
+    ``ack_path + '.error'`` and exits 3 so the parent can tell a harness
+    bug from a durability bug.
+    """
+    try:
+        database = _fresh_store(shards)
+        log = DurableLog.open(data_dir, sync=sync, segments=shards)
+        log.initialize(database, {})
+        database.attach_wal(log)
+        handle_to_id: dict[str, int] = {}
+        id_to_handle: dict[int, str] = {}
+        applied = 0
+        with open(ack_path, "a", encoding="utf-8") as ack_file:
+            for index, step in enumerate(steps):
+                assert isinstance(step, MutationOp)
+                if not applicable(step, handle_to_id):
+                    continue
+                ack = apply_mutation(
+                    database, step, handle_to_id, id_to_handle
+                )
+                applied += 1
+                # The ack line IS the client's receipt; it must hit disk
+                # before the deterministic kill can fire.
+                ack_file.write(
+                    json.dumps({"step": index, "lsn": ack["lsn"]}) + "\n"
+                )
+                ack_file.flush()
+                os.fsync(ack_file.fileno())
+                if applied >= kill_at:
+                    os.kill(os.getpid(), signal.SIGKILL)
+        # Workload exhausted before the kill point: abandon the log
+        # *without closing it* — an exit(0) crash still leaves unflushed
+        # buffers behind under sync=none.
+        os._exit(0)
+    except BaseException as exc:  # pragma: no cover - harness failure path
+        try:
+            Path(ack_path + ".error").write_text(
+                f"{type(exc).__name__}: {exc}", encoding="utf-8"
+            )
+        finally:
+            os._exit(3)
+
+
+# ----------------------------------------------------------------------
+# One round
+# ----------------------------------------------------------------------
+@dataclass
+class CrashReport:
+    """Outcome of one kill-and-recover round."""
+
+    seed: int
+    sync: str
+    shards: int
+    kill_at: int
+    #: Ops the child acknowledged before dying (ack-file line count).
+    acked: int = 0
+    #: LSN the recovery replayed up to (== surviving record count).
+    recovered_lsn: int = 0
+    torn_records: int = 0
+    divergence: Divergence | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "DIVERGED"
+        return (
+            f"{verdict}: sync={self.sync} shards={self.shards} "
+            f"kill@{self.kill_at}: {self.acked} acked, recovered to "
+            f"lsn {self.recovered_lsn} ({self.torn_records} torn)"
+        )
+
+
+def run_kill_recover(
+    workload: Workload,
+    sync: str = "always",
+    shards: int = 2,
+    kill_at: int | None = None,
+    timeout: float = 120.0,
+) -> CrashReport:
+    """One full fork → mutate → SIGKILL → recover → differential round.
+
+    ``kill_at`` (default: seed-derived) is the 1-based count of applied
+    ops after which the child kills itself; past the workload's total it
+    degenerates to crash-at-end. Requires the ``fork`` start method
+    (POSIX); raises :class:`~repro.errors.QueryError` elsewhere.
+    """
+    steps = mutation_steps(workload)
+    if not steps:
+        raise QueryError("kill-recover needs a workload with mutation steps")
+    if kill_at is None:
+        rng = random.Random(workload.seed ^ 0xC0FFEE)
+        kill_at = rng.randint(1, len(steps))
+    report = CrashReport(
+        seed=workload.seed, sync=sync, shards=shards, kill_at=kill_at
+    )
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX
+        raise QueryError(
+            "kill-recover fuzzing needs the 'fork' start method"
+        ) from exc
+
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as tmp:
+        data_dir = str(Path(tmp) / "wal")
+        ack_path = str(Path(tmp) / "acks.jsonl")
+        child = ctx.Process(
+            target=_child_main,
+            args=(steps, data_dir, ack_path, shards, sync, kill_at),
+            daemon=True,
+        )
+        child.start()
+        child.join(timeout)
+        if child.is_alive():  # pragma: no cover - hung child
+            child.kill()
+            child.join(5)
+            report.divergence = Divergence(
+                0, steps[0], "kill-recover:timeout", [],
+                [f"child still alive after {timeout}s"],
+            )
+            return report
+        error_path = Path(ack_path + ".error")
+        if error_path.exists():
+            report.divergence = Divergence(
+                0, steps[0], "kill-recover:child-error", [],
+                [error_path.read_text(encoding="utf-8")],
+            )
+            return report
+
+        acks = _read_acks(ack_path)
+        report.acked = len(acks)
+        report.divergence = _check_recovery(report, steps, acks, data_dir)
+    return report
+
+
+def _read_acks(ack_path: str) -> list[dict[str, Any]]:
+    path = Path(ack_path)
+    if not path.exists():
+        return []
+    acks = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            acks.append(json.loads(line))
+    return acks
+
+
+def _check_recovery(
+    report: CrashReport,
+    steps: tuple[Step, ...],
+    acks: list[dict[str, Any]],
+    data_dir: str,
+) -> Divergence | None:
+    """Recover from ``data_dir`` and run every durability assertion."""
+    log = DurableLog.open(data_dir)
+    try:
+        report.torn_records = log.repair.torn_records
+        state = log.recover()
+        state_again = log.recover()
+    finally:
+        log.close()
+    report.recovered_lsn = state.last_lsn
+    anchor_index = min(report.kill_at, len(steps)) - 1
+    anchor = steps[anchor_index]
+
+    # No phantom writes: the child acked every record it appended before
+    # the kill could fire, so recovery can never see more than was acked.
+    if state.last_lsn > len(acks):
+        return Divergence(
+            anchor_index, anchor, "kill-recover:phantom",
+            [f"recovered lsn <= {len(acks)} acked"],
+            [f"recovered lsn {state.last_lsn}"],
+        )
+    # No acked-write loss under sync=always: every acked LSN must survive.
+    max_acked = max((ack["lsn"] for ack in acks), default=0)
+    if report.sync == "always" and state.last_lsn < max_acked:
+        return Divergence(
+            anchor_index, anchor, "kill-recover:acked-loss",
+            [f"recovered lsn >= acked lsn {max_acked}"],
+            [f"recovered lsn {state.last_lsn}"],
+        )
+
+    # Differential check: recovered state == independent replay of the
+    # first `recovered_lsn` applied ops (one WAL record per applied op,
+    # so the surviving LSN prefix is exactly that op prefix).
+    expected_db, expected_handles, _ = replay_prefix(
+        steps, report.shards, upto_applied=state.last_lsn
+    )
+    expected = _store_fingerprint(expected_db, expected_handles)
+    actual = _store_fingerprint(state.database, state.handle_to_id)
+    if expected != actual:
+        return Divergence(
+            anchor_index, anchor, "kill-recover:state", expected, actual
+        )
+    # Idempotence: a second recovery of the same log is byte-identical.
+    again = _store_fingerprint(state_again.database, state_again.handle_to_id)
+    if again != actual or state_again.last_lsn != state.last_lsn:
+        return Divergence(
+            anchor_index, anchor, "kill-recover:recover-twice", actual, again
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Fuzz-loop + shrinking entry points
+# ----------------------------------------------------------------------
+def crash_reproducer(
+    sync: str, shards: int, kill_at: int
+):
+    """A ``reproduces`` callback for :func:`~repro.testkit.shrink.
+    shrink_workload`: re-runs the whole kill-recover round (fixed kill
+    point and policy) on each candidate subsequence."""
+
+    def reproduces(candidate: Workload) -> Divergence | None:
+        if not mutation_steps(candidate):
+            return None
+        return run_kill_recover(
+            candidate, sync=sync, shards=shards, kill_at=kill_at
+        ).divergence
+
+    return reproduces
+
+
+def fuzz_kill_recover(
+    seed: int,
+    n_steps: int = 200,
+    shards: int = 2,
+    syncs: tuple[str, ...] = KILL_RECOVER_SYNCS,
+    kill_at: int | None = None,
+    shrink: bool = True,
+    log: Any = None,
+) -> tuple[CrashReport, Workload] | None:
+    """Run one seed's kill-recover rounds across ``syncs``.
+
+    Returns ``None`` when every round passes; otherwise the failing
+    (optionally ddmin-shrunk) round as ``(report, workload)``.
+    """
+    from repro.testkit.shrink import shrink_workload
+
+    workload = generate_crash_workload(seed, n_steps)
+    for sync in syncs:
+        report = run_kill_recover(
+            workload, sync=sync, shards=shards, kill_at=kill_at
+        )
+        if log is not None:
+            log(f"seed {seed}: {report.summary()}")
+        if report.ok:
+            continue
+        if shrink:
+            shrunk, divergence = shrink_workload(
+                workload,
+                crash_reproducer(sync, shards, report.kill_at),
+            )
+            report.divergence = divergence
+            return report, shrunk
+        return report, workload
+    return None

@@ -1,0 +1,144 @@
+"""CLI tests for ``repro wal …`` and ``repro fuzz --kill-recover``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.ops import AddOp, RemoveOp, apply_mutation
+from repro.cli import build_parser, main
+from repro.db import DurableLog, GraphDatabase, load_database
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def make_graph(name: str, n: int = 3) -> LabeledGraph:
+    graph = LabeledGraph(name=name)
+    for i in range(n):
+        graph.add_vertex(i, label="C" if i % 2 else "N")
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+@pytest.fixture
+def wal_dir(tmp_path):
+    """A data dir with three adds and one remove logged."""
+    database = GraphDatabase(name="cli")
+    log = DurableLog.open(tmp_path / "data")
+    handle_to_id: dict[str, int] = {}
+    id_to_handle: dict[int, str] = {}
+    log.initialize(database, handle_to_id)
+    database.attach_wal(log)
+    for i in range(3):
+        apply_mutation(
+            database,
+            AddOp(f"g{i}", make_graph(f"g{i}", 2 + i)),
+            handle_to_id,
+            id_to_handle,
+        )
+    apply_mutation(database, RemoveOp("g1"), handle_to_id, id_to_handle)
+    log.close()
+    return tmp_path / "data"
+
+
+def test_wal_inspect(wal_dir, capsys):
+    assert main(["wal", "inspect", str(wal_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "live records: 4 (lsn 1..4)" in out
+    assert "recovered store: 2 graphs" in out
+
+
+def test_wal_inspect_verbose_lists_records(wal_dir, capsys):
+    assert main(["wal", "inspect", str(wal_dir), "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "lsn 1: add" in out
+    assert "lsn 4: remove" in out
+
+
+def test_wal_restore_point_in_time(wal_dir, tmp_path, capsys):
+    output = tmp_path / "restored.json"
+    assert main(
+        ["wal", "restore", str(wal_dir), str(output), "--lsn", "2"]
+    ) == 0
+    database = load_database(output)
+    assert sorted(g.name for g in database.graphs()) == ["g0", "g1"]
+    assert "restored" in capsys.readouterr().out
+
+
+def test_wal_restore_head_by_default(wal_dir, tmp_path):
+    output = tmp_path / "restored.json"
+    assert main(["wal", "restore", str(wal_dir), str(output)]) == 0
+    database = load_database(output)
+    assert sorted(g.name for g in database.graphs()) == ["g0", "g2"]
+
+
+def test_wal_compact(wal_dir, capsys):
+    assert main(["wal", "compact", str(wal_dir)]) == 0
+    assert "folded 4 records" in capsys.readouterr().out
+    log = DurableLog.open(wal_dir)
+    assert log.base_lsn == 4 and log.records() == []
+    log.close()
+
+
+def test_wal_inspect_missing_dir_is_reported(tmp_path, capsys):
+    assert main(["wal", "inspect", str(tmp_path / "nope")]) == 1
+    assert "error" in capsys.readouterr().err.lower()
+
+
+def test_fuzz_kill_recover_smoke(capsys):
+    code = main(
+        [
+            "fuzz",
+            "--kill-recover",
+            "--seed",
+            "5",
+            "--steps",
+            "25",
+            "--sync",
+            "always",
+            "--shards",
+            "2",
+            "--kill-at",
+            "4",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+
+
+def test_fuzz_kill_recover_rejects_fault_combo(capsys):
+    code = main(
+        ["fuzz", "--kill-recover", "--seed", "5", "--fault", "bound-break"]
+    )
+    assert code == 2
+
+
+def test_fuzz_kill_recover_parser_defaults():
+    args = build_parser().parse_args(["fuzz", "--kill-recover"])
+    assert args.kill_recover is True
+    assert args.shards == 2
+    assert args.sync is None
+    assert args.kill_at is None
+
+
+def test_fuzz_kill_recover_corpus_file(tmp_path, capsys):
+    corpus = tmp_path / "corpus.json"
+    corpus.write_text(json.dumps([{"seed": 9}]), encoding="utf-8")
+    code = main(
+        [
+            "fuzz",
+            "--kill-recover",
+            "--corpus",
+            str(corpus),
+            "--steps",
+            "20",
+            "--sync",
+            "none",
+            "--kill-at",
+            "3",
+        ]
+    )
+    assert code == 0
+    assert "seed 9: OK" in capsys.readouterr().out

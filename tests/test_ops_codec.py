@@ -1,0 +1,152 @@
+"""Mutation-codec round-trips on edge inputs, plus applicability checks.
+
+The mutation codec is now also the WAL record payload, so every op must
+survive ``to_dict`` → JSON → ``mutation_from_dict`` byte-exactly even
+for adversarial labels and degenerate graphs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.ops import (
+    AddOp,
+    RelabelOp,
+    RemoveOp,
+    apply_mutation,
+    check_applicable,
+    mutation_from_dict,
+)
+from repro.db import GraphDatabase
+from repro.errors import QueryError, SerializationError, StaleHandleError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+
+EDGE_LABELS = [
+    "π-bond",  # non-ASCII
+    "naïve Ω ∑",  # mixed unicode
+    " leading and trailing ",  # significant whitespace
+    "tab\tand\nnewline",  # control characters
+    "",  # empty string
+    "𝔘𝔫𝔦𝔠𝔬𝔡𝔢",  # astral-plane characters
+]
+
+
+def round_trip(op):
+    return mutation_from_dict(json.loads(json.dumps(op.to_dict())))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("label", EDGE_LABELS)
+    def test_relabel_preserves_exotic_labels(self, label):
+        op = RelabelOp(
+            handle=f"h {label}", new_handle="h2", vertex_index=3, label=label
+        )
+        rebuilt = round_trip(op)
+        assert rebuilt == op
+        assert rebuilt.label == label
+
+    def test_add_empty_graph(self):
+        op = AddOp(handle="empty", graph=LabeledGraph(name="empty"))
+        rebuilt = round_trip(op)
+        assert rebuilt.handle == "empty"
+        assert rebuilt.graph.order == 0
+        assert rebuilt.graph.size == 0
+
+    @pytest.mark.parametrize("label", EDGE_LABELS)
+    def test_add_graph_with_exotic_vertex_labels(self, label):
+        graph = LabeledGraph(name="g")
+        graph.add_vertex(0, label=label)
+        graph.add_vertex(1, label="C")
+        graph.add_edge(0, 1)
+        rebuilt = round_trip(AddOp(handle="g", graph=graph))
+        assert graph_to_dict(rebuilt.graph) == graph_to_dict(graph)
+
+    def test_remove_round_trip(self):
+        op = RemoveOp(handle="χ handle")
+        assert round_trip(op) == op
+
+    def test_vertex_index_coerced_to_int(self):
+        payload = RelabelOp("a", "b", 2, "N").to_dict()
+        payload["vertex_index"] = "2"
+        assert mutation_from_dict(payload).vertex_index == 2
+
+
+class TestRejection:
+    def test_unknown_op_names_known_ops(self):
+        with pytest.raises(SerializationError, match="add, relabel, remove"):
+            mutation_from_dict({"op": "explode"})
+
+    def test_non_dict_payload(self):
+        with pytest.raises(SerializationError, match="expected an object"):
+            mutation_from_dict(["op", "add"])
+
+    def test_missing_field(self):
+        with pytest.raises(SerializationError, match="relabel"):
+            mutation_from_dict({"op": "relabel", "handle": "a"})
+
+    def test_bad_graph_payload(self):
+        with pytest.raises(SerializationError):
+            mutation_from_dict({"op": "add", "handle": "a", "graph": 7})
+
+
+class TestApplicability:
+    def _store(self):
+        database = GraphDatabase(name="t")
+        graph = LabeledGraph(name="g0")
+        graph.add_vertex(0, label="C")
+        handle_to_id: dict[str, int] = {}
+        id_to_handle: dict[int, str] = {}
+        apply_mutation(
+            database, AddOp("g0", graph), handle_to_id, id_to_handle
+        )
+        return database, handle_to_id, id_to_handle
+
+    def test_remove_dead_handle_is_stale(self):
+        database, h2i, i2h = self._store()
+        with pytest.raises(StaleHandleError) as exc_info:
+            apply_mutation(database, RemoveOp("ghost"), h2i, i2h)
+        assert exc_info.value.op == "remove"
+        assert exc_info.value.handle == "ghost"
+
+    def test_relabel_dead_source_is_stale(self):
+        database, h2i, i2h = self._store()
+        with pytest.raises(StaleHandleError):
+            apply_mutation(
+                database, RelabelOp("ghost", "new", 0, "N"), h2i, i2h
+            )
+
+    def test_duplicate_add_handle_is_conflict_not_stale(self):
+        database, h2i, i2h = self._store()
+        with pytest.raises(QueryError) as exc_info:
+            check_applicable(AddOp("g0", LabeledGraph(name="x")), h2i)
+        assert not isinstance(exc_info.value, StaleHandleError)
+
+    def test_duplicate_relabel_target_is_conflict(self):
+        database, h2i, i2h = self._store()
+        graph = LabeledGraph(name="g1")
+        graph.add_vertex(0, label="O")
+        apply_mutation(database, AddOp("g1", graph), h2i, i2h)
+        with pytest.raises(QueryError) as exc_info:
+            apply_mutation(database, RelabelOp("g0", "g1", 0, "N"), h2i, i2h)
+        assert not isinstance(exc_info.value, StaleHandleError)
+
+    def test_rejected_op_mutates_nothing(self):
+        database, h2i, i2h = self._store()
+        before = dict(h2i)
+        with pytest.raises(StaleHandleError):
+            apply_mutation(database, RemoveOp("ghost"), h2i, i2h)
+        assert h2i == before
+        assert len(database) == 1
+
+
+def test_graph_codec_tuple_shapes_survive_json():
+    graph = LabeledGraph(name="shape")
+    graph.add_vertex(0, label="C")
+    graph.add_vertex(1, label="N")
+    graph.add_edge(0, 1)
+    payload = json.loads(json.dumps(graph_to_dict(graph)))
+    rebuilt = graph_from_dict(payload)
+    assert graph_to_dict(rebuilt) == graph_to_dict(graph)

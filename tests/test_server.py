@@ -398,7 +398,9 @@ def test_mutate_conflicts_and_malformed_bodies(corpus):
                 "POST", "/v1/mutate", RemoveOp(handle="ghost").to_dict()
             )
             assert status == 409
-            assert payload["error"]["code"] == "conflict"
+            assert payload["error"]["code"] == "stale-handle"
+            assert payload["error"]["op"] == "remove"
+            assert payload["error"]["handle"] == "ghost"
 
             status, payload = client.request(
                 "POST", "/v1/mutate", {"op": "explode"}
