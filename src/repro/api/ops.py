@@ -149,8 +149,13 @@ def relabeled_copy(
     """The relabeled replacement graph a :class:`RelabelOp` inserts.
 
     One definition of the positional-vertex semantics, shared by the
-    workload generator, the differential runner and the server.
+    workload generator, the differential runner and the server. An
+    order-0 graph has no vertex to select (the positional index is
+    taken mod order), so relabeling it is a structured error rather
+    than a ``ZeroDivisionError``.
     """
+    if graph.order == 0:
+        raise QueryError("cannot relabel a vertex of an empty graph")
     relabeled = graph.copy(name=name)
     vertex = relabeled.vertices()[vertex_index % relabeled.order]
     relabeled.relabel_vertex(vertex, label)
@@ -173,13 +178,19 @@ def applicable(op: MutationOp, handles: dict[str, int]) -> bool:
     return op.handle in handles and op.new_handle not in handles
 
 
-def check_applicable(op: MutationOp, handles: dict[str, int]) -> None:
+def check_applicable(
+    op: MutationOp, handles: dict[str, int], database: "Any" = None
+) -> None:
     """Raise the precise applicability error for ``op``, if any.
 
     Dead source handles raise :class:`~repro.errors.StaleHandleError`
     (the server maps it to a structured ``stale-handle`` 409); duplicate
     target handles raise a plain :class:`~repro.errors.QueryError`
-    conflict.
+    conflict. With ``database`` supplied the check is *total*: every op
+    it passes is guaranteed to apply, so a WAL record appended after it
+    can never describe a mutation that then fails — which is why it
+    also rejects relabeling an order-0 graph (no vertex to select) here,
+    before anything is durably logged.
     """
     if isinstance(op, AddOp):
         if op.handle in handles:
@@ -198,6 +209,11 @@ def check_applicable(op: MutationOp, handles: dict[str, int]) -> None:
             raise QueryError(
                 f"mutation 'relabel' not applicable: target handle "
                 f"{op.new_handle!r} already live"
+            )
+        if database is not None and database.get(handles[op.handle]).order == 0:
+            raise QueryError(
+                f"mutation 'relabel' not applicable: graph under handle "
+                f"{op.handle!r} has no vertices"
             )
 
 
@@ -249,13 +265,21 @@ def apply_mutation(
     the ack then carries the committed ``lsn``, durable to whatever the
     log's sync policy promises by the time this returns.
     """
-    check_applicable(op, handle_to_id)
+    check_applicable(op, handle_to_id, database)
     wal = getattr(database, "wal", None)
     lsn = None
     if wal is not None and not wal.suppressed:
         lsn = _log_op(database, op, handle_to_id)
-        with wal.suppress():
-            ack = _apply_checked(database, op, handle_to_id, id_to_handle)
+        try:
+            with wal.suppress():
+                ack = _apply_checked(database, op, handle_to_id, id_to_handle)
+        except BaseException:
+            # check_applicable makes this unreachable for wire-decodable
+            # ops, but if an apply ever does fail the write-ahead record
+            # must not survive it: a logged-but-unapplied op would replay
+            # as a phantom write and poison every later recover().
+            wal.annul(lsn)
+            raise
     else:
         ack = _apply_checked(database, op, handle_to_id, id_to_handle)
     if lsn is not None:
@@ -283,13 +307,17 @@ def _apply_checked(
         database.remove(graph_id)
         return {"op": op.op, "handle": op.handle, "graph_id": graph_id}
     assert isinstance(op, RelabelOp)
-    old_id = handle_to_id.pop(op.handle)
+    # Build the replacement before touching any state, and move the
+    # handle maps only once both database halves have landed — a
+    # failure mid-relabel must never leave the maps disagreeing.
+    old_id = handle_to_id[op.handle]
     relabeled = relabeled_copy(
         database.get(old_id), op.vertex_index, op.label, op.new_handle
     )
-    del id_to_handle[old_id]
     database.remove(old_id)
     new_id = database.insert(relabeled)
+    del handle_to_id[op.handle]
+    del id_to_handle[old_id]
     handle_to_id[op.new_handle] = new_id
     id_to_handle[new_id] = op.new_handle
     return {

@@ -162,10 +162,12 @@ def decode_record(line: bytes) -> dict[str, Any]:
         raise WalCorruptionError(
             f"WAL record checksum mismatch at lsn {payload.get('lsn')!r}"
         )
-    if not isinstance(payload.get("lsn"), int) or not isinstance(
-        payload.get("op"), dict
+    if (
+        not isinstance(payload.get("lsn"), int)
+        or not isinstance(payload.get("version"), int)
+        or not isinstance(payload.get("op"), dict)
     ):
-        raise WalCorruptionError("WAL record is missing lsn/op fields")
+        raise WalCorruptionError("WAL record is missing lsn/version/op fields")
     return payload
 
 
@@ -245,6 +247,9 @@ class DurableLog:
         self._next_lsn = 1
         self._base_lsn = 0
         self._ops_since_compact = 0
+        #: (lsn, segment index, encoded length) of the newest append,
+        #: kept so :meth:`annul` can roll it back if its apply fails.
+        self._last_append: tuple[int, int, int] | None = None
 
     # -- lifecycle -------------------------------------------------------
     @classmethod
@@ -358,8 +363,38 @@ class DurableLog:
         handle.write(line)
         self._next_lsn += 1
         self._ops_since_compact += 1
+        self._last_append = (lsn, index, len(line))
         self._after_write(index, handle)
         return lsn
+
+    def annul(self, lsn: int) -> None:
+        """Roll the newest record back out of the log.
+
+        The write-ahead contract appends before applying; if the apply
+        then fails the record describes a mutation that never happened,
+        and leaving it behind would replay a phantom write (and, with
+        later appends stacked on top, corrupt recovery outright). Only
+        the most recent append can be annulled — its bytes are truncated
+        from the segment and its LSN is released, as if the append never
+        occurred.
+        """
+        if self._closed:
+            raise QueryError("cannot annul a record of a closed WAL")
+        if self._last_append is None or self._last_append[0] != lsn:
+            raise QueryError(
+                f"cannot annul lsn {lsn}: only the most recent append "
+                "can be rolled back"
+            )
+        _, index, length = self._last_append
+        handle = self._files[index]
+        handle.flush()
+        size = os.fstat(handle.fileno()).st_size
+        os.ftruncate(handle.fileno(), max(0, size - length))
+        os.fsync(handle.fileno())
+        self._dirty.discard(index)
+        self._next_lsn = lsn
+        self._ops_since_compact = max(0, self._ops_since_compact - 1)
+        self._last_append = None
 
     def sync(self) -> None:
         """Flush + fsync every dirty segment (regardless of policy)."""
@@ -443,6 +478,7 @@ class DurableLog:
             handle.close()
             del self._files[index]
         self._dirty.clear()
+        self._last_append = None
         for index in range(self.segments):
             path = self.segment_path(index)
             if path.exists():
@@ -504,19 +540,23 @@ class DurableLog:
             stale = [r for r in records if r.record["lsn"] <= self._base_lsn]
             if stale:
                 # Interrupted compaction: rewrite keeping only the live
-                # suffix (records are LSN-ordered within a segment).
+                # suffix (records are LSN-ordered within a segment). The
+                # kept records' end offsets move in the rewritten file,
+                # so recompute them — the orphan cut below truncates by
+                # offset and must see post-rewrite positions.
                 self.repair.stale_records += len(stale)
                 live = [r for r in records if r.record["lsn"] > self._base_lsn]
-                atomic_write_text(
-                    path,
-                    b"".join(
-                        encode_record(
-                            r.record["lsn"], r.record["version"], r.record["op"]
-                        )
-                        for r in live
-                    ).decode("utf-8"),
-                )
-                records = live
+                chunks: list[bytes] = []
+                offset = 0
+                records = []
+                for r in live:
+                    line = encode_record(
+                        r.record["lsn"], r.record["version"], r.record["op"]
+                    )
+                    chunks.append(line)
+                    offset += len(line)
+                    records.append(_ScannedRecord(r.record, index, offset))
+                atomic_write_text(path, b"".join(chunks).decode("utf-8"))
             per_segment.append(records)
 
         merged = sorted(

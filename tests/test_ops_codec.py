@@ -141,6 +141,44 @@ class TestApplicability:
         assert h2i == before
         assert len(database) == 1
 
+    def test_relabel_of_empty_graph_is_conflict_not_crash(self):
+        # Empty graphs are codec-legal inserts, but relabel has no
+        # vertex to select — must be a structured applicability error
+        # (never ZeroDivisionError) and must mutate nothing.
+        database, h2i, i2h = self._store()
+        apply_mutation(
+            database, AddOp("empty", LabeledGraph(name="empty")), h2i, i2h
+        )
+        before = dict(h2i)
+        with pytest.raises(QueryError, match="no vertices") as exc_info:
+            apply_mutation(
+                database, RelabelOp("empty", "e2", 0, "N"), h2i, i2h
+            )
+        assert not isinstance(exc_info.value, StaleHandleError)
+        assert h2i == before
+        assert i2h == {graph_id: h for h, graph_id in before.items()}
+        assert len(database) == 2
+
+    def test_failed_relabel_leaves_handle_maps_consistent(self):
+        # A failure between the remove and insert halves must not leave
+        # handle_to_id and id_to_handle disagreeing with each other.
+        database, h2i, i2h = self._store()
+        before_h2i, before_i2h = dict(h2i), dict(i2h)
+
+        def boom(graph, *args, **kwargs):
+            raise RuntimeError("injected insert failure")
+
+        database.insert = boom
+        try:
+            with pytest.raises(RuntimeError):
+                apply_mutation(
+                    database, RelabelOp("g0", "g1", 0, "N"), h2i, i2h
+                )
+        finally:
+            del database.insert
+        assert h2i == before_h2i
+        assert i2h == before_i2h
+
 
 def test_graph_codec_tuple_shapes_survive_json():
     graph = LabeledGraph(name="shape")

@@ -81,6 +81,22 @@ class TestRecordCodec:
         with pytest.raises(WalCorruptionError):
             decode_record(raw)
 
+    def test_missing_version_is_corrupt_not_keyerror(self):
+        # Repair re-encodes records via record["version"], so a sealed
+        # record without one must fail decode as corruption, not leak a
+        # KeyError out of the repair pass.
+        body = {"lsn": 1, "op": {"op": "remove", "graph_id": 0}}
+        canonical = json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode()
+        sealed = dict(body)
+        sealed["crc"] = zlib.crc32(canonical) & 0xFFFFFFFF
+        line = json.dumps(
+            sealed, sort_keys=True, separators=(",", ":")
+        ).encode()
+        with pytest.raises(WalCorruptionError, match="version"):
+            decode_record(line)
+
 
 class TestSyncPolicy:
     def test_parse_modes(self):
@@ -350,6 +366,130 @@ class TestRepair:
         assert state.replayed == 0  # everything now lives in the snapshot
         assert sorted(state.handle_to_id) == ["g0", "g1", "g2"]
         reopened.close()
+
+
+    def test_stale_rewrite_then_orphan_cut_uses_rewritten_offsets(
+        self, tmp_path
+    ):
+        # One repair pass can both drop stale records (rewriting the
+        # segment) and cut orphans; the cut must use post-rewrite byte
+        # offsets or it leaves garbage behind.
+        database, log, h2i, i2h = attached_log(tmp_path, shards=2)
+        for i in range(6):
+            apply_mutation(
+                database, AddOp(f"g{i}", make_graph(f"g{i}")), h2i, i2h
+            )
+        # Pretend a compaction at lsn 2 crashed before the segment
+        # reset: snapshot the state after the first two adds, leave
+        # every record in place.
+        oracle = ShardedGraphDatabase(shards=2, name="t")
+        oh2i: dict[str, int] = {}
+        oi2h: dict[int, str] = {}
+        for i in range(2):
+            apply_mutation(
+                oracle, AddOp(f"g{i}", make_graph(f"g{i}")), oh2i, oi2h
+            )
+        from repro.db.persistence import atomic_write_text
+        from repro.db.wal import _snapshot_payload
+
+        atomic_write_text(
+            tmp_path / "wal" / "snapshot.json",
+            json.dumps(_snapshot_payload(oracle, oh2i, 2)),
+        )
+        log.close()
+        # ...and the buffered tail of segment 0 (lsn 5) was lost, which
+        # orphans lsn 6 in segment 1.
+        seg0 = log.segment_path(0)
+        lines = seg0.read_bytes().splitlines(keepends=True)
+        seg0.write_bytes(b"".join(lines[:-1]))
+
+        reopened = DurableLog.open(tmp_path / "wal")
+        assert reopened.repair.stale_records == 2  # lsns 1 and 2
+        assert reopened.repair.orphaned_records == 1  # lsn 6
+        state = reopened.recover()
+        assert state.last_lsn == 4
+        assert sorted(state.handle_to_id) == ["g0", "g1", "g2", "g3"]
+        reopened.close()
+        # The segments were physically repaired: a second open is clean
+        # and recovers identically.
+        again = DurableLog.open(tmp_path / "wal")
+        assert again.repair.clean
+        assert again.recover().last_lsn == 4
+        again.close()
+
+
+# ----------------------------------------------------------------------
+# Write-ahead rollback (annul)
+# ----------------------------------------------------------------------
+class TestAnnul:
+    def test_empty_graph_relabel_rejected_before_append(self, tmp_path):
+        database, log, h2i, i2h = attached_log(tmp_path)
+        apply_mutation(
+            database, AddOp("g0", LabeledGraph(name="g0")), h2i, i2h
+        )
+        with pytest.raises(QueryError, match="no vertices"):
+            apply_mutation(database, RelabelOp("g0", "g1", 0, "O"), h2i, i2h)
+        # No phantom record hit the log, the maps are intact, and the
+        # log keeps serving.
+        assert [r["op"]["op"] for r in log.records()] == ["add"]
+        assert h2i == {"g0": 0} and i2h == {0: "g0"}
+        ack = apply_mutation(database, AddOp("g2", make_graph("g2")), h2i, i2h)
+        assert ack["lsn"] == 2
+        log.close()
+        state = recover(tmp_path / "wal")
+        assert state.last_lsn == 2
+        assert sorted(state.handle_to_id) == ["g0", "g2"]
+
+    def test_apply_failure_after_append_annuls_the_record(self, tmp_path):
+        database, log, h2i, i2h = attached_log(tmp_path)
+        apply_mutation(database, AddOp("g0", make_graph("g0")), h2i, i2h)
+
+        def boom(graph, *args, **kwargs):
+            raise RuntimeError("injected insert failure")
+
+        database.insert = boom
+        try:
+            with pytest.raises(RuntimeError):
+                apply_mutation(
+                    database, AddOp("g1", make_graph("g1")), h2i, i2h
+                )
+        finally:
+            del database.insert
+        # The write-ahead record was rolled back: no phantom write on
+        # replay, the LSN is released, and the retry commits cleanly.
+        assert [r["op"]["op"] for r in log.records()] == ["add"]
+        assert h2i == {"g0": 0}
+        ack = apply_mutation(database, AddOp("g1", make_graph("g1")), h2i, i2h)
+        assert ack["lsn"] == 2
+        log.close()
+        state = recover(tmp_path / "wal")
+        assert state.last_lsn == 2
+        assert sorted(state.handle_to_id) == ["g0", "g1"]
+
+    def test_annul_truncates_bytes_and_releases_lsn(self, tmp_path):
+        database, log, h2i, i2h = attached_log(tmp_path)
+        apply_mutation(database, AddOp("g0", make_graph("g0")), h2i, i2h)
+        before = log.segment_path(0).read_bytes()
+        lsn = log.append(
+            {"op": "remove", "handle": "g0", "graph_id": 0},
+            database.version + 1,
+        )
+        assert lsn == 2
+        log.annul(lsn)
+        assert log.last_lsn == 1
+        log.sync()
+        assert log.segment_path(0).read_bytes() == before
+        log.close()
+
+    def test_annul_accepts_only_the_newest_append(self, tmp_path):
+        database, log, h2i, i2h = attached_log(tmp_path)
+        apply_mutation(database, AddOp("g0", make_graph("g0")), h2i, i2h)
+        with pytest.raises(QueryError, match="most recent"):
+            log.annul(7)
+        log.annul(1)
+        with pytest.raises(QueryError, match="most recent"):
+            log.annul(1)  # already rolled back
+        log.close()
 
 
 # ----------------------------------------------------------------------
