@@ -196,8 +196,17 @@ class ResultSet:
                 "pruned_by_index": self.stats.pruned_by_index,
                 "pruned_by_batch": self.stats.pruned_by_batch,
                 "served_from_cache": self.stats.served_from_cache,
+                "pruned_by_stage": dict(self.stats.pruned_by_stage),
+                "source_ms": round(self.stats.source_ms, 3),
+                "cascade_ms": round(self.stats.cascade_ms, 3),
+                "evaluate_ms": round(self.stats.evaluate_ms, 3),
             },
         }
+        if self.stats.planner is not None:
+            payload["stats"]["planner"] = {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self.stats.planner.items()
+            }
         if self.stats.per_shard is not None:
             payload["stats"]["per_shard"] = [
                 dict(row) for row in self.stats.per_shard
@@ -230,6 +239,65 @@ class ResultSet:
     def explain(self) -> str:
         """Human-readable account of the plan, the work, and the answer."""
         lines = [self.plan.describe(), self.stats.summary()]
+        if self.stats.planner is not None:
+            planner = self.stats.planner
+            lines.append(
+                f"planner: chose {planner.get('summary', 'auto')} "
+                f"(profile: {planner.get('profile_queries', 0)} queries "
+                "observed)"
+            )
+            predicted = planner.get("predicted") or {}
+            observed = planner.get("observed") or {}
+            for stage in predicted:
+                lines.append(
+                    f"  stage {stage}: predicted {predicted[stage]:.1%} "
+                    f"prune, observed {observed.get(stage, 0.0):.1%}"
+                )
+            costs = planner.get("costs_ms") or {}
+            if costs:
+                ranked = sorted(costs.items(), key=lambda item: item[1])
+                lines.append(
+                    "  considered: "
+                    + "  ".join(
+                        f"{label}={ms:.1f}ms" for label, ms in ranked
+                    )
+                )
+            for row in planner.get("per_shard") or []:
+                lines.append(
+                    "  shard {shard}: evaluator={evaluator} "
+                    "predicted_survivors={predicted_survivors} "
+                    "(size {size})".format(**row)
+                )
+            for event in planner.get("replans") or []:
+                if event.get("event") == "drop-stage":
+                    lines.append(
+                        f"  re-plan: dropped stage {event['stage']} after "
+                        f"{event['after_candidates']} candidates "
+                        f"(predicted {event['predicted']:.1%}, observed "
+                        f"{event['observed']:.1%})"
+                    )
+                elif event.get("event") == "switch-evaluator":
+                    lines.append(
+                        f"  re-plan: switched {event['from']} → "
+                        f"{event['to']} after {event['after_pairs']} pairs "
+                        f"(measured {event['pair_ms']:.2f}ms/pair, "
+                        f"~{event['expected_remaining']} remaining)"
+                    )
+                else:  # pragma: no cover - future event kinds
+                    lines.append(f"  re-plan: {event}")
+            for reason in planner.get("reasons") or []:
+                lines.append(f"  note: {reason}")
+        if self.stats.pruned_by_stage:
+            breakdown = ", ".join(
+                f"{name}: {count}"
+                for name, count in sorted(self.stats.pruned_by_stage.items())
+            )
+            lines.append(f"pruned by stage: {breakdown}")
+        lines.append(
+            f"phases: source={self.stats.source_ms:.1f}ms "
+            f"cascade={self.stats.cascade_ms:.1f}ms "
+            f"evaluate={self.stats.evaluate_ms:.1f}ms"
+        )
         if self.intervals is not None:
             open_count = sum(
                 1

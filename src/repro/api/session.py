@@ -38,6 +38,7 @@ from repro.api.backends import (
 )
 # Importing these modules registers the "parallel" and "sharded" backends.
 from repro.api import parallel as _parallel  # noqa: F401
+from repro.api import auto as _auto  # noqa: F401
 from repro.shard import backend as _sharded  # noqa: F401
 from repro.shard.store import ShardedGraphDatabase
 

@@ -392,6 +392,61 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One-line strategy notes for ``repro backends`` (registry-keyed).
+_BACKEND_NOTES = {
+    "memory": "exhaustive serial scan (reference semantics)",
+    "indexed": "scalar feature-index lower bounds, most promising first",
+    "vectorized": "NumPy batched bound kernels + VP-tree pre-filter",
+    "parallel": "exhaustive fan-out on the persistent process pool",
+    "sharded": "scatter-gather over a sharded store (connect shards=N)",
+    "auto": "cost-based planner: picks source/stages/evaluator per query",
+}
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.engine.planner import availability
+
+    info = availability()
+    rows = [
+        [name, _BACKEND_NOTES.get(name, "(custom registration)")]
+        for name in info["backends"]
+    ]
+    print(render_table(["backend", "strategy"], rows,
+                       title="registered backends"))
+    print()
+    numpy_note = (
+        info["numpy"]
+        or "absent — vectorized source and batch stages gated off"
+    )
+    print(f"numpy: {numpy_note}")
+    pool_note = (
+        "usable" if info["pool_usable"]
+        else "not worth starting (single CPU)"
+    )
+    if info["pools_started"]:
+        warm = ", ".join(f"{n} workers" for n in info["pools_started"])
+        pool_note += f"; warm pools: {warm} (pooled startup cost is zero)"
+    else:
+        pool_note += "; no pool started yet"
+    print(f"cpu count: {info['cpu_count']} — pooled evaluation {pool_note}")
+    if args.database:
+        path = Path(args.database)
+        if path.is_dir():
+            print(f"database {args.database}: durable data-dir "
+                  "(inspect with `python -m repro wal inspect`)")
+        else:
+            database = load_database(args.database)
+            shards = getattr(database, "shard_count", 1)
+            topology = f"{shards} shards" if shards > 1 else "monolithic"
+            avg = (
+                database.vertex_load / len(database) if len(database) else 0.0
+            )
+            print(f"database {args.database}: {len(database)} graphs "
+                  f"({topology}, mean order {avg:.1f}) — what `auto` "
+                  "feeds its cost model")
+    return 0
+
+
 def _cmd_paper_example(args: argparse.Namespace) -> int:
     from repro.bench import compute_paper_example_report
 
@@ -554,6 +609,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_paper = sub.add_parser("paper-example", help="print the reproduced tables")
     p_paper.set_defaults(handler=_cmd_paper_example)
 
+    p_backends = sub.add_parser(
+        "backends",
+        help="registered execution backends + availability diagnostics",
+    )
+    p_backends.add_argument(
+        "database", nargs="?", default=None,
+        help="optional database JSON (or durable data-dir) to report the "
+             "shape the `auto` planner would see",
+    )
+    p_backends.set_defaults(handler=_cmd_backends)
+
     p_fuzz = sub.add_parser(
         "fuzz",
         help="differential workload fuzzing against the exhaustive oracle",
@@ -573,7 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=tuple(
                             name
                             for name in ("memory", "indexed", "parallel",
-                                         "vectorized", "sharded")
+                                         "vectorized", "sharded", "auto")
                             if name in available_backends()
                         ),
                         help="force every query step onto one backend "

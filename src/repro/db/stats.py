@@ -26,7 +26,15 @@ class QueryStats:
     exact_evaluations: int = 0
     served_from_cache: int = 0
     skyline_size: int = 0
+    #: Of ``pruned_by_index``, per-stage attribution keyed by the stage's
+    #: ``name`` (e.g. ``"pareto-bound"``); batched pre-filter removals are
+    #: booked under ``"batch-prefilter"``. Sums to ``pruned_by_index``.
+    pruned_by_stage: dict[str, int] = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Adaptive-planner decision record (``None`` unless the query ran on
+    #: the ``auto`` backend): chosen source/stages/evaluator, predicted vs
+    #: observed per-stage selectivities, and any mid-query re-plan events.
+    planner: dict[str, object] | None = None
     #: Scatter-gather breakdown: one row per shard (``shard``, ``size``,
     #: ``candidates``, ``pruned``, ``evaluated``, ``served``), in shard
     #: order, empty shards included. ``None`` for monolithic runs.
@@ -52,12 +60,36 @@ class QueryStats:
     #: out), ``budget_spent_ms`` (wall clock consumed).
     anytime: dict[str, object] | None = None
 
+    def count_prune(self, stage_name: str, count: int = 1) -> None:
+        """Attribute ``count`` cascade prunes to ``stage_name``."""
+        self.pruned_by_stage[stage_name] = (
+            self.pruned_by_stage.get(stage_name, 0) + count
+        )
+
     @property
     def pruning_ratio(self) -> float:
         """Fraction of candidates skipped thanks to index bounds."""
         if self.candidates_considered == 0:
             return 0.0
         return self.pruned_by_index / self.candidates_considered
+
+    @property
+    def source_ms(self) -> float:
+        """Wall-clock spent enumerating/bounding candidates, in ms."""
+        return (
+            self.phase_seconds.get("source", 0.0)
+            + self.phase_seconds.get("bounds", 0.0)
+        ) * 1000.0
+
+    @property
+    def cascade_ms(self) -> float:
+        """Wall-clock spent in per-candidate cascade stages, in ms."""
+        return self.phase_seconds.get("cascade", 0.0) * 1000.0
+
+    @property
+    def evaluate_ms(self) -> float:
+        """Wall-clock spent on exact evaluations (incl. drain), in ms."""
+        return self.phase_seconds.get("evaluate", 0.0) * 1000.0
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -71,6 +103,16 @@ class QueryStats:
         batched = (
             f" (batch={self.pruned_by_batch})" if self.pruned_by_batch else ""
         )
+        stages = ""
+        if self.pruned_by_stage:
+            breakdown = ",".join(
+                f"{name}:{count}"
+                for name, count in sorted(self.pruned_by_stage.items())
+            )
+            stages = f" stages[{breakdown}]"
+        planner = ""
+        if self.planner is not None:
+            planner = f" plan={self.planner.get('summary', 'auto')}"
         sharded = (
             f" shards={len(self.per_shard)}" if self.per_shard is not None else ""
         )
@@ -100,7 +142,8 @@ class QueryStats:
             )
         return (
             f"n={self.database_size} evaluated={self.exact_evaluations} "
-            f"pruned={self.pruned_by_index}{batched}{cached}{sharded}{pool}{anytime} "
+            f"pruned={self.pruned_by_index}{batched}{stages}{cached}"
+            f"{sharded}{pool}{anytime}{planner} "
             f"skyline={self.skyline_size} [{timings}]"
         )
 

@@ -73,6 +73,13 @@ from repro.engine.workers import (
 )
 from repro.engine.anytime import run_plan_anytime
 from repro.engine.core import RunContext, make_context, run_plan
+from repro.engine.planner import (
+    AdaptiveEvaluator,
+    AdaptiveStage,
+    PlanDecision,
+    QueryPlanner,
+    SelectivityProfile,
+)
 from repro.engine.deadline import Deadline, current_deadline, deadline_scope
 from repro.engine.scatter import (
     FrontierMerge,
@@ -112,6 +119,11 @@ __all__ = [
     "make_context",
     "run_plan",
     "run_plan_anytime",
+    "AdaptiveEvaluator",
+    "AdaptiveStage",
+    "PlanDecision",
+    "QueryPlanner",
+    "SelectivityProfile",
     "Deadline",
     "current_deadline",
     "deadline_scope",

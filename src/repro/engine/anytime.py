@@ -300,6 +300,8 @@ def run_plan_anytime(ctx: "RunContext", plan: "EvaluationPlan") -> "BackendAnswe
     stats.candidates_considered += len(ctx.prefiltered)
     stats.pruned_by_index += len(ctx.prefiltered)
     stats.pruned_by_batch += len(ctx.prefiltered)
+    if ctx.prefiltered:
+        stats.count_prune("batch-prefilter", len(ctx.prefiltered))
 
     states: dict[int, _CandidateState] = {}
 
@@ -323,12 +325,15 @@ def run_plan_anytime(ctx: "RunContext", plan: "EvaluationPlan") -> "BackendAnswe
             remaining -= 1
             stats.candidates_considered += 1
             verdict: "str | tuple | None" = None
+            decided: Stage | None = None
             for stage in stages:
                 verdict = stage.decide(candidate)
                 if verdict is not None:
+                    decided = stage
                     break
             if verdict == "prune":
                 stats.pruned_by_index += 1
+                stats.count_prune(getattr(decided, "name", "stage"))
                 pruned_ids.append(candidate.graph_id)
                 continue
             state = _CandidateState(

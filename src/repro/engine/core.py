@@ -19,6 +19,7 @@ The engine is the only place counting statistics, so ``memory``,
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -143,7 +144,8 @@ def run_plan(
         with PhaseTimer(stats, "bounds"):
             candidates = plan.source.candidates(ctx)
     else:
-        candidates = plan.source.candidates(ctx)
+        with PhaseTimer(stats, "source"):
+            candidates = plan.source.candidates(ctx)
     stages: list[Stage] = [factory(ctx) for factory in plan.cascade]
     evaluator.begin(ctx)
 
@@ -152,36 +154,55 @@ def run_plan(
     stats.candidates_considered += len(ctx.prefiltered)
     stats.pruned_by_index += len(ctx.prefiltered)
     stats.pruned_by_batch += len(ctx.prefiltered)
+    if ctx.prefiltered:
+        stats.count_prune("batch-prefilter", len(ctx.prefiltered))
+
+    perf = time.perf_counter
+    cascade_s = 0.0
+    evaluate_s = 0.0
 
     def record(graph_id: int, values: tuple[float, ...]) -> None:
+        nonlocal cascade_s
         exact[graph_id] = values
+        begin = perf()
         for stage in stages:
             stage.observe(graph_id, values)
+        cascade_s += perf() - begin
 
     deadline = ctx.deadline
-    with PhaseTimer(stats, "evaluate"):
+    try:
         for candidate in candidates:
             if deadline is not None:
                 deadline.check()
             stats.candidates_considered += 1
             verdict: "str | tuple[float, ...] | None" = None
+            decided: Stage | None = None
+            begin = perf()
             for stage in stages:
                 verdict = stage.decide(candidate)
                 if verdict is not None:
+                    decided = stage
                     break
+            cascade_s += perf() - begin
             if verdict == "prune":
                 stats.pruned_by_index += 1
+                stats.count_prune(getattr(decided, "name", "stage"))
                 pruned_ids.append(candidate.graph_id)
                 continue
             if isinstance(verdict, tuple):
                 stats.served_from_cache += 1
                 record(candidate.graph_id, verdict)
                 continue
+            begin = perf()
             values = evaluator.evaluate(ctx, candidate)
+            evaluate_s += perf() - begin
             if values is not None:
                 stats.exact_evaluations += 1
                 record(candidate.graph_id, values)
-        for graph_id, values in evaluator.drain(ctx):
+        begin = perf()
+        drained = list(evaluator.drain(ctx))
+        evaluate_s += perf() - begin
+        for graph_id, values in drained:
             stats.exact_evaluations += 1
             record(graph_id, values)
         # A deferring evaluator may prune while draining (shared-frontier
@@ -192,7 +213,15 @@ def run_plan(
         deferred_pruned = list(evaluator.drained_pruned_ids())
         if deferred_pruned:
             stats.pruned_by_index += len(deferred_pruned)
+            stats.count_prune("shared-frontier", len(deferred_pruned))
             pruned_ids.extend(deferred_pruned)
+    finally:
+        stats.phase_seconds["cascade"] = (
+            stats.phase_seconds.get("cascade", 0.0) + cascade_s
+        )
+        stats.phase_seconds["evaluate"] = (
+            stats.phase_seconds.get("evaluate", 0.0) + evaluate_s
+        )
 
     if ctx.vector_kind:
         vectors = {

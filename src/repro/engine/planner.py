@@ -1,0 +1,647 @@
+"""Cost-based adaptive planning: pick the cheapest plan per query.
+
+The fixed backends (``memory``/``indexed``/``vectorized``/``parallel``/
+``sharded``) are hand-picked points in one plan space — candidate source
+× bound stage × evaluator — and each of them is the wrong point for some
+slice of the workload: batched kernels pay a setup cost that tiny
+databases never amortize, exhaustive scans waste exact solves that a
+bound stage would have pruned, and the process pool's fork/attach cost
+dwarfs a handful of cheap pairs. This module closes the loop the ROADMAP
+names: a System-R-style cost model over our own plan space, driven by
+
+* **static inputs** — database size, average graph order, shard count,
+  NumPy/pool availability, the query's kind/k/threshold/tolerance/budget;
+* **observed feedback** — a per-session :class:`SelectivityProfile` of
+  per-stage prune rates and per-pair exact-evaluation cost, fed back from
+  the :class:`~repro.db.stats.QueryStats` of every executed query.
+
+Because selectivities are observed, the model self-corrects: the first
+query of a kind runs on priors, later ones on measured reality.
+
+Mis-predictions are also caught *mid-query*: :class:`AdaptiveStage`
+watches a bound stage's prune rate over a calibration prefix and drops
+the stage when the rate collapsed below prediction (sound — removing a
+pruning stage only adds exact evaluations), and :class:`AdaptiveEvaluator`
+starts serially, measures the true per-pair cost, and re-plans the
+remaining candidates onto the process pool when the projected serial
+remainder exceeds the pool's amortized startup. Both record re-plan
+events that surface in ``ResultSet.explain()``.
+
+The decision layer is consumed by :class:`repro.api.auto.AutoBackend`
+(registered as the ``"auto"`` backend).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.evaluate import Evaluator, SerialEvaluator
+from repro.engine.plan import Candidate, Stage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import GraphQuery
+    from repro.db.stats import QueryStats
+    from repro.engine.core import RunContext
+    from repro.engine.workers import PooledEvaluator
+
+
+# ----------------------------------------------------------------------
+# Cost-model coefficients (seconds). Absolute accuracy does not matter —
+# decisions compare plans against each other, and the two quantities
+# that dominate (per-pair exact cost, per-stage selectivity) are
+# *measured* and override these priors after the first few queries.
+# ----------------------------------------------------------------------
+#: Per-candidate scalar feature-index bound computation.
+SCALAR_BOUND_SECONDS = 2.0e-5
+#: Per-candidate batched (NumPy) bound computation.
+BATCH_BOUND_SECONDS = 1.0e-6
+#: Fixed per-query overhead of the batched kernels (dispatch, packing,
+#: store sync; measured against the scalar cascade, the crossover where
+#: batching wins sits near ~80 candidates).
+BATCH_SETUP_SECONDS = 1.5e-3
+#: Per-candidate cascade bookkeeping (stage walk, counters).
+CASCADE_CHECK_SECONDS = 3.0e-6
+#: Cold worker-pool start (fork + first shared-memory attachment).
+POOL_START_SECONDS = 1.2
+#: Per-chunk task overhead (pickle, queue round-trip).
+POOL_CHUNK_SECONDS = 2.0e-3
+#: Per-pair exact-evaluation prior per squared vertex (GED + MCS are
+#: superquadratic, but the profile replaces this after one query).
+PAIR_SECONDS_PER_ORDER2 = 5.0e-5
+
+#: Prior fraction of candidates the bound stage prunes, per query kind.
+PRIOR_SELECTIVITY = {
+    "skyline": 0.45,
+    "skyband": 0.30,
+    "topk": 0.50,
+    "threshold": 0.50,
+}
+
+#: Calibration prefix before a mid-query re-plan may trigger.
+CALIBRATION_MIN = 16
+#: Drop a bound stage when observed/predicted prune rate falls below this.
+STAGE_DROP_RATIO = 0.25
+#: ... and the observed rate is also below this absolute rate.
+STAGE_DROP_FLOOR = 0.10
+#: Don't bother gating stages predicted to prune less than this.
+GATE_MIN_PREDICTED = 0.10
+
+
+def _pair_seconds_prior(avg_order: float) -> float:
+    """Prior cost of one exact (GED+MCS) pair at ``avg_order`` vertices."""
+    return PAIR_SECONDS_PER_ORDER2 * max(1.0, avg_order) ** 2
+
+
+# ----------------------------------------------------------------------
+# Observed-selectivity profile
+# ----------------------------------------------------------------------
+class SelectivityProfile:
+    """Thread-safe EWMA store of observed selectivities and costs.
+
+    One instance lives per ``auto`` backend — i.e. per session, and (the
+    server caches one session per backend name) shared across every
+    client of a server. Keys are ``(query kind, stage name)`` for prune
+    rates and the query kind alone for per-pair cost, so skylines don't
+    poison top-k estimates and vice versa.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        self._alpha = alpha
+        self._lock = threading.Lock()
+        self._selectivity: dict[tuple[str, str], float] = {}
+        self._pair_seconds: dict[str, float] = {}
+        self._samples: dict[object, int] = {}
+        self.queries = 0
+
+    def _update(self, table: dict, key, value: float) -> None:
+        previous = table.get(key)
+        if previous is None:
+            table[key] = value
+        else:
+            table[key] = previous + self._alpha * (value - previous)
+        self._samples[key] = self._samples.get(key, 0) + 1
+
+    def observe(
+        self,
+        kind: str,
+        stats: "QueryStats",
+        stage_names: tuple[str, ...] = (),
+    ) -> None:
+        """Fold one executed query's stats into the profile.
+
+        ``stage_names`` are the bound stages the plan *ran* — passing
+        them records zero-selectivity observations too, which is exactly
+        the feedback that steers the planner away from useless stages.
+        """
+        considered = stats.candidates_considered
+        if considered <= 0:
+            return
+        prefiltered = stats.pruned_by_batch
+        survivors = max(1, considered - prefiltered)
+        with self._lock:
+            self.queries += 1
+            if prefiltered or "batch-prefilter" in stage_names:
+                self._update(
+                    self._selectivity,
+                    (kind, "batch-prefilter"),
+                    prefiltered / considered,
+                )
+            for name in stage_names:
+                if name == "batch-prefilter":
+                    continue
+                pruned = stats.pruned_by_stage.get(name, 0)
+                self._update(
+                    self._selectivity, (kind, name), pruned / survivors
+                )
+            if stats.exact_evaluations > 0:
+                per_pair = (
+                    stats.phase_seconds.get("evaluate", 0.0)
+                    / stats.exact_evaluations
+                )
+                if per_pair > 0.0:
+                    self._update(self._pair_seconds, kind, per_pair)
+
+    def selectivity(self, kind: str, stage_name: str) -> float | None:
+        """Observed EWMA prune rate of ``stage_name`` for ``kind``."""
+        with self._lock:
+            return self._selectivity.get((kind, stage_name))
+
+    def pair_seconds(self, kind: str) -> float | None:
+        """Observed EWMA seconds per exact pair for ``kind``."""
+        with self._lock:
+            return self._pair_seconds.get(kind)
+
+    def snapshot(self) -> dict:
+        """Diagnostics payload (explain(), ``repro backends``)."""
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "selectivity": {
+                    f"{kind}/{stage}": round(value, 4)
+                    for (kind, stage), value in sorted(
+                        self._selectivity.items()
+                    )
+                },
+                "pair_ms": {
+                    kind: round(value * 1000.0, 4)
+                    for kind, value in sorted(self._pair_seconds.items())
+                },
+            }
+
+
+# ----------------------------------------------------------------------
+# The decision
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanDecision:
+    """One planner verdict: which plan to run and why.
+
+    ``source`` ∈ ``database-order`` / ``bound-ordered`` / ``indexed``;
+    ``stage`` is the bound stage's display name or ``None`` (no pruning);
+    ``evaluator`` ∈ ``serial`` / ``pooled`` / ``adaptive`` (serial with a
+    mid-query switch armed). ``predicted`` maps stage names to predicted
+    prune fractions, ``costs`` maps every *considered* plan label to its
+    predicted wall-clock (seconds) — losers included, so ``explain()``
+    can show the decision, not just the winner.
+    """
+
+    source: str
+    stage: str | None
+    batch: bool
+    evaluator: str
+    predicted: dict[str, float] = field(default_factory=dict)
+    costs: dict[str, float] = field(default_factory=dict)
+    reasons: tuple[str, ...] = ()
+    #: Predicted number of candidates surviving to exact evaluation.
+    survivors: int = 0
+
+    @property
+    def summary(self) -> str:
+        prune = self.stage or "no-prune"
+        return f"{self.source}+{prune}/{self.evaluator}"
+
+
+class QueryPlanner:
+    """Enumerate candidate plans, cost each, pick the cheapest.
+
+    The plan space matches what the fixed backends span: three candidate
+    sources (exhaustive scan, scalar feature-index bounds, vectorized
+    bounds + threshold pre-filter), the bound stage on/off and batch vs
+    scalar, serial vs pooled evaluation. Soundness constraints prune the
+    space first (tolerant Pareto pruning is not transitive; the anytime
+    path is serial by design; batch stages need NumPy), then each
+    survivor is costed from the profile and the cheapest wins —
+    deterministic tie-break on enumeration order.
+    """
+
+    def __init__(
+        self,
+        profile: SelectivityProfile,
+        numpy_available: bool | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if numpy_available is None:
+            from repro.api.backends import _numpy_available
+
+            numpy_available = _numpy_available()
+        self.profile = profile
+        self.numpy_available = numpy_available
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+
+    # -- soundness gates -------------------------------------------------
+    @staticmethod
+    def prunes(spec: "GraphQuery") -> bool:
+        """Whether bound pruning is sound for ``spec`` (tolerant
+        dominance is not transitive — same rule as the sharded backend)."""
+        return not (
+            spec.kind in ("skyline", "skyband") and spec.tolerance > 0
+        )
+
+    def pool_usable(self, spec: "GraphQuery") -> bool:
+        """Whether pooled evaluation is even an option for ``spec``."""
+        return self.max_workers > 1 and not spec.anytime
+
+    # -- cost model ------------------------------------------------------
+    def _predicted_selectivity(self, kind: str, stage_name: str) -> float:
+        observed = self.profile.selectivity(kind, stage_name)
+        if observed is None:
+            # Batch and scalar Pareto stages have identical semantics —
+            # an observation of one predicts the other.
+            sibling = (
+                stage_name[: -len("(batch)")]
+                if stage_name.endswith("(batch)")
+                else f"{stage_name}(batch)"
+            )
+            observed = self.profile.selectivity(kind, sibling)
+        if observed is not None:
+            return observed
+        return PRIOR_SELECTIVITY.get(kind, 0.4)
+
+    def _pair_seconds(self, kind: str, avg_order: float) -> float:
+        observed = self.profile.pair_seconds(kind)
+        if observed is not None:
+            return observed
+        return _pair_seconds_prior(avg_order)
+
+    def _eval_seconds(
+        self, survivors: float, pair_seconds: float, pool_started: bool
+    ) -> tuple[float, float]:
+        """(serial, pooled) predicted evaluation seconds for survivors."""
+        serial = survivors * pair_seconds
+        workers = self.max_workers
+        # The pooled drain auto-sizes to ~4 chunks per worker.
+        chunks = min(max(survivors, 0.0), float(workers * 4))
+        start = 0.0 if pool_started else POOL_START_SECONDS
+        pooled = (
+            start
+            + chunks * POOL_CHUNK_SECONDS
+            + survivors * pair_seconds / workers
+        )
+        return serial, pooled
+
+    def decide(
+        self,
+        spec: "GraphQuery",
+        db_size: int,
+        avg_order: float,
+        pool_started: bool = False,
+    ) -> PlanDecision:
+        """Cost every legal plan for ``spec`` and return the cheapest."""
+        kind = spec.kind
+        n = float(db_size)
+        pair_s = self._pair_seconds(kind, avg_order)
+        pruning = self.prunes(spec)
+        pool_ok = self.pool_usable(spec)
+        reasons: list[str] = []
+        if not pruning:
+            reasons.append(
+                "tolerant dominance is not transitive: bound pruning off"
+            )
+        if spec.anytime:
+            reasons.append("anytime budget: evaluation is serial by design")
+        elif not pool_ok:
+            reasons.append(
+                f"pool not usable (workers={self.max_workers})"
+            )
+
+        from repro.engine.plan import bound_stage_for
+
+        scalar_stage = bound_stage_for(spec).name
+        batch_stage = scalar_stage
+        if self.numpy_available and kind in ("skyline", "skyband"):
+            batch_stage = f"{scalar_stage}(batch)"
+
+        # (label, source, stage, batch, setup_s, per_candidate_s, sel)
+        options: list[tuple[str, str, str | None, bool, float, float, float]] = [
+            ("exhaustive", "database-order", None, False, 0.0, 0.0, 0.0)
+        ]
+        if pruning:
+            sel = self._predicted_selectivity(kind, scalar_stage)
+            options.append(
+                (
+                    "scalar-index",
+                    "bound-ordered",
+                    scalar_stage,
+                    False,
+                    0.0,
+                    SCALAR_BOUND_SECONDS + CASCADE_CHECK_SECONDS,
+                    sel,
+                )
+            )
+            if self.numpy_available:
+                if kind == "threshold":
+                    # The vectorized source pre-filters before the
+                    # cascade; the residual threshold stage prunes ~0.
+                    sel = self._predicted_selectivity(
+                        kind, "batch-prefilter"
+                    )
+                else:
+                    sel = self._predicted_selectivity(kind, batch_stage)
+                options.append(
+                    (
+                        "vectorized",
+                        "indexed",
+                        batch_stage,
+                        True,
+                        BATCH_SETUP_SECONDS,
+                        BATCH_BOUND_SECONDS + CASCADE_CHECK_SECONDS,
+                        sel,
+                    )
+                )
+
+        costs: dict[str, float] = {}
+        best: tuple[float, PlanDecision] | None = None
+        for label, source, stage, batch, setup_s, per_cand_s, sel in options:
+            survivors = n * (1.0 - min(max(sel, 0.0), 1.0))
+            serial_s, pooled_s = self._eval_seconds(
+                survivors, pair_s, pool_started
+            )
+            filter_s = setup_s + n * per_cand_s
+            serial_total = filter_s + serial_s
+            evaluator_plans = [("serial", serial_total)]
+            if pool_ok:
+                evaluator_plans.append(("pooled", filter_s + pooled_s))
+            for evaluator, total in evaluator_plans:
+                costs[f"{label}/{evaluator}"] = total
+                if best is not None and total >= best[0]:
+                    continue
+                predicted = {}
+                if batch and spec.kind == "threshold":
+                    # The pre-filter does the pruning in the source; the
+                    # residual cascade stage sees only survivors.
+                    predicted["batch-prefilter"] = sel
+                    predicted[stage] = 0.0
+                elif stage is not None:
+                    predicted[stage] = sel
+                best = (
+                    total,
+                    PlanDecision(
+                        source=source,
+                        stage=stage,
+                        batch=batch,
+                        evaluator=evaluator,
+                        predicted=predicted,
+                        survivors=int(survivors),
+                    ),
+                )
+        assert best is not None  # the exhaustive option always exists
+        decision = best[1]
+        # Serial winners keep the pool in reserve: the adaptive evaluator
+        # measures true per-pair cost and switches if serial was a
+        # mis-prediction. Pure-serial environments can't switch.
+        evaluator = decision.evaluator
+        if evaluator == "serial" and pool_ok:
+            evaluator = "adaptive"
+        return PlanDecision(
+            source=decision.source,
+            stage=decision.stage,
+            batch=decision.batch,
+            evaluator=evaluator,
+            predicted=decision.predicted,
+            costs=costs,
+            reasons=tuple(reasons),
+            survivors=decision.survivors,
+        )
+
+
+# ----------------------------------------------------------------------
+# Mid-query re-planning
+# ----------------------------------------------------------------------
+def stage_warmup(spec) -> int:
+    """Exact evaluations a bound stage needs before it *can* prune.
+
+    Dominance- and rank-based stages prune against established exact
+    vectors: the Pareto stage needs at least one, the rank/skyband
+    stages need ``k``. Counting candidates seen before that point
+    toward the drop-gate calibration would read structural warm-up as
+    a collapsed prune rate (pruning is back-loaded on bound-ordered
+    sources) and drop a perfectly good stage. Threshold bounds prune
+    each candidate independently — no warm-up.
+    """
+    if spec.kind in ("topk", "skyband"):
+        return int(spec.k or 1)
+    if spec.kind == "skyline":
+        return 1
+    return 0
+
+
+class AdaptiveStage(Stage):
+    """Wrap a bound stage; drop it when its prune rate collapses.
+
+    The calibration clock starts only once the inner stage has received
+    ``warmup`` exact observations (see :func:`stage_warmup`) — before
+    that it has no pruning power by construction. After a calibration
+    prefix of ``calibration`` counted candidates, if the observed prune
+    rate fell below ``STAGE_DROP_RATIO ×`` the predicted selectivity
+    (and below ``STAGE_DROP_FLOOR`` absolutely — a stage still pruning
+    a third of the database stays even when the prediction was higher),
+    the inner stage is dropped for the remainder: its
+    ``decide``/``observe`` stop running, so a Pareto scan over a growing
+    dominator set stops taxing every candidate. Dropping a *pruning*
+    stage is always sound — survivors are evaluated exactly.
+
+    The wrapper borrows the inner stage's ``name`` so per-stage prune
+    counts and profile feedback attribute to the real stage.
+    """
+
+    def __init__(
+        self,
+        inner: Stage,
+        predicted: float,
+        events: list,
+        calibration: int = CALIBRATION_MIN,
+        warmup: int = 0,
+        shard: int | None = None,
+    ) -> None:
+        self.name = inner.name
+        self.inner = inner
+        self.predicted = predicted
+        self.events = events
+        self.calibration = max(1, calibration)
+        self.warmup = max(0, warmup)
+        self.shard = shard
+        self.observes = 0
+        self.seen = 0
+        self.pruned = 0
+        self.dropped = False
+
+    @property
+    def observed(self) -> float:
+        return self.pruned / self.seen if self.seen else 0.0
+
+    def decide(self, candidate: Candidate) -> "str | tuple[float, ...] | None":
+        if self.dropped:
+            return None
+        verdict = self.inner.decide(candidate)
+        if self.observes < self.warmup:
+            return verdict
+        self.seen += 1
+        if verdict == "prune":
+            self.pruned += 1
+        if self.seen == self.calibration:
+            observed = self.observed
+            if observed < min(
+                self.predicted * STAGE_DROP_RATIO, STAGE_DROP_FLOOR
+            ):
+                self.dropped = True
+                event = {
+                    "event": "drop-stage",
+                    "stage": self.name,
+                    "after_candidates": self.seen,
+                    "predicted": round(self.predicted, 4),
+                    "observed": round(observed, 4),
+                }
+                if self.shard is not None:
+                    event["shard"] = self.shard
+                self.events.append(event)
+        return verdict
+
+    def observe(self, graph_id: int, values: tuple[float, ...]) -> None:
+        if not self.dropped:
+            self.observes += 1
+            self.inner.observe(graph_id, values)
+
+
+class AdaptiveEvaluator(Evaluator):
+    """Serial evaluation with a mid-query switch to the process pool.
+
+    The planner picks this when serial looks cheapest but a pool exists:
+    the first ``calibration`` pairs are solved inline while their wall
+    cost is measured; if the projected cost of the remaining survivors —
+    ``remaining × measured per-pair × (1 − 1/workers)`` saved — exceeds
+    the pool's amortized startup, the remainder is deferred onto the
+    wrapped :class:`~repro.engine.workers.PooledEvaluator` and drained
+    after the scan (a re-plan event is recorded). The engine handles
+    mixed interleaved/deferred results natively, so the switch is
+    invisible to correctness: every survivor is still evaluated exactly.
+    """
+
+    interleaved = True
+
+    def __init__(
+        self,
+        pooled: "PooledEvaluator",
+        expected_survivors: int,
+        events: list,
+        calibration: int = CALIBRATION_MIN,
+        pool_started: bool = False,
+        shard: int | None = None,
+    ) -> None:
+        self._serial = SerialEvaluator()
+        self._pooled = pooled
+        self._expected = max(0, expected_survivors)
+        self._events = events
+        self._calibration = max(1, calibration)
+        self._pool_started = pool_started
+        self._shard = shard
+        self._evaluated = 0
+        self._spent = 0.0
+        self.switched = False
+
+    def begin(self, ctx: "RunContext") -> None:
+        self._pooled.begin(ctx)
+        self._evaluated = 0
+        self._spent = 0.0
+        self.switched = False
+
+    def _should_switch(self) -> bool:
+        if self._evaluated < self._calibration:
+            return False
+        per_pair = self._spent / self._evaluated
+        remaining = max(0, self._expected - self._evaluated)
+        workers = self._pooled.max_workers
+        saved = remaining * per_pair * (1.0 - 1.0 / workers)
+        start = 0.0 if self._pool_started else POOL_START_SECONDS
+        chunks = len(self._pooled.chunk(list(range(remaining))))
+        return saved > start + chunks * POOL_CHUNK_SECONDS
+
+    def evaluate(self, ctx, candidate):
+        if self.switched:
+            return self._pooled.evaluate(ctx, candidate)
+        begin = time.perf_counter()
+        values = self._serial.evaluate(ctx, candidate)
+        self._spent += time.perf_counter() - begin
+        self._evaluated += 1
+        if self._evaluated == self._calibration and self._should_switch():
+            self.switched = True
+            event = {
+                "event": "switch-evaluator",
+                "from": "serial",
+                "to": "pooled",
+                "after_pairs": self._evaluated,
+                "pair_ms": round(self._spent / self._evaluated * 1000.0, 4),
+                "expected_remaining": max(
+                    0, self._expected - self._evaluated
+                ),
+            }
+            if self._shard is not None:
+                event["shard"] = self._shard
+            self._events.append(event)
+        return values
+
+    def drain(self, ctx):
+        if self.switched:
+            return self._pooled.drain(ctx)
+        return []
+
+    def drained_pruned_ids(self):
+        if self.switched:
+            return self._pooled.drained_pruned_ids()
+        return ()
+
+
+# ----------------------------------------------------------------------
+# Environment diagnostics (the ``repro backends`` CLI)
+# ----------------------------------------------------------------------
+def availability() -> dict:
+    """What the planner has to work with on this host.
+
+    Reported by ``python -m repro backends`` so users can see why
+    ``auto`` picked what it picked: NumPy gates the vectorized source
+    and batch stages, ``cpu_count`` gates pooled evaluation, and an
+    already-started pool zeroes the startup term of the cost model.
+    """
+    from repro.api.backends import _numpy_available, available_backends
+
+    numpy_version: str | None = None
+    if _numpy_available():
+        import numpy
+
+        numpy_version = numpy.__version__
+    cpu_count = os.cpu_count() or 1
+    from repro.engine import workers
+
+    started = sorted(
+        size for size, pool in workers._POOLS.items() if pool.started
+    )
+    return {
+        "backends": available_backends(),
+        "numpy": numpy_version,
+        "cpu_count": cpu_count,
+        "pool_usable": cpu_count > 1,
+        "pools_started": started,
+    }

@@ -365,6 +365,8 @@ def merged_stats(
             stats.pruned_by_batch += shard.pruned_by_batch
             stats.exact_evaluations += shard.exact_evaluations
             stats.served_from_cache += shard.served_from_cache
+            for name, count in shard.pruned_by_stage.items():
+                stats.count_prune(name, count)
             for phase, seconds in shard.phase_seconds.items():
                 stats.phase_seconds[phase] = (
                     stats.phase_seconds.get(phase, 0.0) + seconds

@@ -268,13 +268,15 @@ class WorkloadRunner:
 
     # -- sessions --------------------------------------------------------
     def _backend(self, name: str, cached: bool) -> ExecutionBackend:
-        if name not in ("memory", "indexed", "parallel", "vectorized", "sharded"):
+        if name not in (
+            "memory", "indexed", "parallel", "vectorized", "sharded", "auto"
+        ):
             # Reject rather than fall back: a typo'd backend in a
             # hand-edited workload would silently run memory semantics
             # and trivially "pass" against the oracle.
             raise QueryError(
-                f"unknown workload backend {name!r}; "
-                "available: memory, indexed, parallel, vectorized, sharded"
+                f"unknown workload backend {name!r}; available: "
+                "memory, indexed, parallel, vectorized, sharded, auto"
             )
         cache = self.cache if cached else None
         if name == "indexed":
@@ -290,6 +292,12 @@ class WorkloadRunner:
             )
         if name == "sharded":
             return ShardedBackend(self.database, cache=cache)
+        if name == "auto":
+            from repro.api.auto import AutoBackend
+
+            return AutoBackend(
+                self.database, cache=cache, max_workers=self.max_workers
+            )
         return MemoryBackend(self.database, cache=cache)
 
     def session(self, name: str, cached: bool) -> Session:

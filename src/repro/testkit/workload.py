@@ -49,9 +49,9 @@ from repro.api.backends import _numpy_available
 #: fuzzed over the shard store and ``sharded`` adds the scatter-gather
 #: execution path on top.
 WORKLOAD_BACKENDS: tuple[str, ...] = (
-    ("memory", "indexed", "parallel", "vectorized", "sharded")
+    ("memory", "indexed", "parallel", "vectorized", "sharded", "auto")
     if _numpy_available()
-    else ("memory", "indexed", "parallel", "sharded")
+    else ("memory", "indexed", "parallel", "sharded", "auto")
 )
 
 #: Backends whose cascade prunes by index bounds. Tolerant dominance is
@@ -61,6 +61,9 @@ WORKLOAD_BACKENDS: tuple[str, ...] = (
 #: it guards the caveat itself (tolerance > 0 disables its pruning and
 #: pools every evaluated vector), so tolerant specs are sound there and
 #: generating them fuzzes that fallback path against the oracle.
+#: ``auto`` is omitted for the same reason: its planner refuses bound
+#: pruning for tolerant vector kinds, and tolerant specs fuzz exactly
+#: that decision.
 PRUNING_BACKENDS: tuple[str, ...] = ("indexed", "vectorized")
 
 #: GCS measure subsets queries cycle through (``None`` = paper default).

@@ -1,0 +1,565 @@
+"""The cost-based adaptive planner and the ``auto`` backend.
+
+Answer-set parity with the exhaustive reference across all four kinds is
+also fuzzed (``auto`` sits in the testkit backend rotation); this file
+pins the decision layer itself — selectivity-profile feedback, soundness
+gates, static cost crossovers, NumPy-absent degradation, mid-query
+re-plans (stage drop + serial→pooled switch), the ``explain()`` /
+``to_dict()`` reporting, the sharded scatter path, the ``repro
+backends`` CLI, and the shared profile behind the server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import GraphDatabase, Query
+from repro.api.auto import AutoBackend
+from repro.api.backends import available_backends
+from repro.api.spec import GraphQuery
+from repro.db.stats import QueryStats
+from repro.engine import planner as planner_mod
+from repro.engine.planner import (
+    AdaptiveEvaluator,
+    AdaptiveStage,
+    QueryPlanner,
+    SelectivityProfile,
+    availability,
+    stage_warmup,
+)
+from repro.shard import ShardedGraphDatabase
+
+from tests.conftest import make_random_graph
+
+
+@pytest.fixture
+def database() -> GraphDatabase:
+    return GraphDatabase.from_graphs(
+        [make_random_graph(seed, max_vertices=5) for seed in range(14)]
+    )
+
+
+@pytest.fixture
+def query_graph():
+    return make_random_graph(99, max_vertices=5)
+
+
+def _reference(database, build):
+    with repro.connect(database, backend="memory") as session:
+        return session.execute(build())
+
+
+def _skyline_spec(graph) -> GraphQuery:
+    return Query(graph).measures("edit", "mcs").skyline().build()
+
+
+# ----------------------------------------------------------------------
+# Registration + parity
+# ----------------------------------------------------------------------
+def test_backend_is_registered():
+    assert "auto" in available_backends()
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda q: Query(q).measures("edit", "mcs").skyline(),
+        lambda q: Query(q).measures("edit", "mcs").skyline(tolerance=0.25),
+        lambda q: Query(q).measures("edit", "mcs").skyband(2),
+        lambda q: Query(q).topk(3, "edit"),
+        lambda q: Query(q).threshold(0.5, "edit"),
+    ],
+    ids=["skyline", "skyline-tolerant", "skyband", "topk", "threshold"],
+)
+def test_auto_matches_memory(database, query_graph, build):
+    expected = _reference(database, lambda: build(query_graph))
+    with repro.connect(database, backend="auto") as session:
+        result = session.execute(build(query_graph))
+    assert result.ids == expected.ids
+    planner = result.stats.planner
+    assert planner is not None and planner["backend"] == "auto"
+    # The decision names source, stages, evaluator, and selectivities.
+    assert planner["source"] in ("database-order", "bound-ordered", "indexed")
+    assert planner["evaluator"]
+    assert set(planner["observed"]) == set(planner["predicted"])
+
+
+def test_tolerant_skyline_disables_pruning(database, query_graph):
+    with repro.connect(database, backend="auto") as session:
+        result = session.execute(
+            Query(query_graph).measures("edit", "mcs").skyline(tolerance=0.25)
+        )
+    planner = result.stats.planner
+    assert planner["summary"].startswith("database-order+no-prune")
+    assert any("tolerant" in reason for reason in planner["reasons"])
+    assert result.stats.exact_evaluations == len(database)
+
+
+def test_explain_and_to_dict_carry_the_decision(database, query_graph):
+    with repro.connect(database, backend="auto") as session:
+        result = session.execute(_skyline_spec(query_graph))
+    text = result.explain()
+    assert "planner: chose" in text
+    assert "predicted" in text and "observed" in text
+    assert "considered:" in text
+    payload = result.to_dict()
+    planner = payload["stats"]["planner"]
+    assert planner["summary"] == result.stats.planner["summary"]
+    assert "costs_ms" in planner and "exhaustive/serial" in planner["costs_ms"]
+    assert payload["stats"]["pruned_by_stage"] == dict(
+        result.stats.pruned_by_stage
+    )
+    for key in ("source_ms", "cascade_ms", "evaluate_ms"):
+        assert payload["stats"][key] >= 0.0
+
+
+def test_profile_learns_across_queries(database, query_graph):
+    backend = AutoBackend(database)
+    spec = _skyline_spec(query_graph)
+    first = backend.run(spec)
+    assert first.stats.planner["profile_queries"] == 0
+    second = backend.run(spec)
+    assert second.stats.planner["profile_queries"] == 1
+    kind_stage = backend.profile.selectivity(
+        "skyline", first.stats.planner["stages"][0]
+    )
+    assert kind_stage is not None
+    assert backend.profile.pair_seconds("skyline") > 0.0
+
+
+# ----------------------------------------------------------------------
+# SelectivityProfile
+# ----------------------------------------------------------------------
+def _stats(considered, pruned_by_stage=None, batch=0, evals=0, evaluate_s=0.0):
+    stats = QueryStats(
+        candidates_considered=considered,
+        pruned_by_batch=batch,
+        exact_evaluations=evals,
+    )
+    stats.pruned_by_stage.update(pruned_by_stage or {})
+    if evaluate_s:
+        stats.phase_seconds["evaluate"] = evaluate_s
+    return stats
+
+
+def test_profile_ewma_update():
+    profile = SelectivityProfile(alpha=0.5)
+    profile.observe(
+        "skyline",
+        _stats(100, {"pareto-bound": 80}),
+        stage_names=("pareto-bound",),
+    )
+    assert profile.selectivity("skyline", "pareto-bound") == pytest.approx(0.8)
+    profile.observe(
+        "skyline",
+        _stats(100, {"pareto-bound": 40}),
+        stage_names=("pareto-bound",),
+    )
+    # EWMA: 0.8 + 0.5 * (0.4 - 0.8)
+    assert profile.selectivity("skyline", "pareto-bound") == pytest.approx(0.6)
+    assert profile.queries == 2
+
+
+def test_profile_records_zero_selectivity_for_planned_stages():
+    profile = SelectivityProfile()
+    profile.observe("topk", _stats(50), stage_names=("rank-bound",))
+    assert profile.selectivity("topk", "rank-bound") == 0.0
+
+
+def test_profile_pair_seconds_and_prefilter():
+    profile = SelectivityProfile()
+    profile.observe(
+        "threshold",
+        _stats(40, batch=30, evals=10, evaluate_s=0.02),
+        stage_names=("batch-prefilter", "threshold-bound"),
+    )
+    assert profile.selectivity("threshold", "batch-prefilter") == pytest.approx(
+        0.75
+    )
+    assert profile.pair_seconds("threshold") == pytest.approx(0.002)
+    snapshot = profile.snapshot()
+    assert snapshot["queries"] == 1
+    assert "threshold/batch-prefilter" in snapshot["selectivity"]
+    assert snapshot["pair_ms"]["threshold"] == pytest.approx(2.0)
+
+
+def test_batch_and_scalar_stage_names_share_observations():
+    profile = SelectivityProfile()
+    profile.observe(
+        "skyline",
+        _stats(100, {"pareto-bound(batch)": 70}),
+        stage_names=("pareto-bound(batch)",),
+    )
+    planner = QueryPlanner(profile, numpy_available=True, max_workers=1)
+    assert planner._predicted_selectivity(
+        "skyline", "pareto-bound"
+    ) == pytest.approx(0.7)
+    assert planner._predicted_selectivity(
+        "skyline", "pareto-bound(batch)"
+    ) == pytest.approx(0.7)
+
+
+# ----------------------------------------------------------------------
+# Static decisions
+# ----------------------------------------------------------------------
+def test_decide_prefers_scalar_small_batch_large(query_graph):
+    planner = QueryPlanner(
+        SelectivityProfile(), numpy_available=True, max_workers=1
+    )
+    spec = _skyline_spec(query_graph)
+    small = planner.decide(spec, db_size=20, avg_order=5.0)
+    assert small.stage == "pareto-bound" and not small.batch
+    large = planner.decide(spec, db_size=2000, avg_order=5.0)
+    assert large.stage == "pareto-bound(batch)" and large.batch
+    assert large.source == "indexed"
+
+
+def test_decide_without_numpy_never_batches(query_graph):
+    planner = QueryPlanner(
+        SelectivityProfile(), numpy_available=False, max_workers=1
+    )
+    for build in (
+        lambda q: Query(q).measures("edit", "mcs").skyline(),
+        lambda q: Query(q).topk(3, "edit"),
+        lambda q: Query(q).threshold(0.5, "edit"),
+    ):
+        decision = planner.decide(build(query_graph).build(), 2000, 5.0)
+        assert not decision.batch
+        assert decision.source in ("database-order", "bound-ordered")
+
+
+def test_decide_anytime_is_serial(query_graph):
+    planner = QueryPlanner(
+        SelectivityProfile(), numpy_available=True, max_workers=8
+    )
+    spec = Query(query_graph).measures("edit", "mcs").skyline().budget(
+        ms=50
+    ).build()
+    decision = planner.decide(spec, 500, 5.0)
+    assert decision.evaluator == "serial"
+    assert any("anytime" in reason for reason in decision.reasons)
+
+
+def test_decide_single_core_cannot_pool(query_graph):
+    planner = QueryPlanner(
+        SelectivityProfile(), numpy_available=True, max_workers=1
+    )
+    decision = planner.decide(_skyline_spec(query_graph), 500, 5.0)
+    assert decision.evaluator == "serial"
+    assert all("/pooled" not in label for label in decision.costs)
+
+
+def test_decide_serial_winner_arms_the_adaptive_switch(query_graph):
+    planner = QueryPlanner(
+        SelectivityProfile(), numpy_available=True, max_workers=4
+    )
+    decision = planner.decide(_skyline_spec(query_graph), 40, 4.0)
+    assert decision.evaluator == "adaptive"
+    assert "scalar-index/pooled" in decision.costs
+
+
+def test_decide_huge_survivor_count_goes_pooled(query_graph):
+    profile = SelectivityProfile()
+    # Teach the profile that pairs are expensive and pruning is useless.
+    profile.observe(
+        "skyline",
+        _stats(100, {"pareto-bound": 0}, evals=100, evaluate_s=5.0),
+        stage_names=("pareto-bound",),
+    )
+    planner = QueryPlanner(profile, numpy_available=True, max_workers=4)
+    decision = planner.decide(_skyline_spec(query_graph), 5000, 8.0)
+    assert decision.evaluator == "pooled"
+
+
+# ----------------------------------------------------------------------
+# NumPy-absent degradation (satellite: mirror the vectorized gating)
+# ----------------------------------------------------------------------
+def test_auto_degrades_to_scalar_without_numpy(
+    database, query_graph, monkeypatch
+):
+    monkeypatch.setattr("repro.api.auto._numpy_available", lambda: False)
+    backend = AutoBackend(database)
+    assert not backend.planner.numpy_available
+    for build in (
+        lambda q: Query(q).measures("edit", "mcs").skyline(),
+        lambda q: Query(q).topk(3, "edit"),
+        lambda q: Query(q).threshold(0.5, "edit"),
+    ):
+        expected = _reference(database, lambda: build(query_graph))
+        answer = backend.run(build(query_graph).build())
+        assert answer.ids == expected.ids
+        planner = answer.stats.planner
+        assert "(batch)" not in (planner["summary"] or "")
+        assert planner["source"] != "indexed"
+
+
+# ----------------------------------------------------------------------
+# Mid-query re-planning
+# ----------------------------------------------------------------------
+class _NeverPrunes:
+    name = "pareto-bound"
+
+    def __init__(self):
+        self.observed_ids = []
+
+    def decide(self, candidate):
+        return None
+
+    def observe(self, graph_id, values):
+        self.observed_ids.append(graph_id)
+
+
+def test_adaptive_stage_drops_on_collapsed_rate():
+    events: list = []
+    stage = AdaptiveStage(
+        _NeverPrunes(), predicted=0.8, events=events, calibration=4
+    )
+    for _ in range(4):
+        assert stage.decide(None) is None
+    assert stage.dropped
+    (event,) = events
+    assert event["event"] == "drop-stage"
+    assert event["stage"] == "pareto-bound"
+    assert event["after_candidates"] == 4
+    assert event["predicted"] == 0.8 and event["observed"] == 0.0
+    # Dropped stages stop both deciding and observing.
+    assert stage.decide(None) is None
+    stage.observe(7, (1.0,))
+    assert stage.inner.observed_ids == []
+
+
+def test_adaptive_stage_warmup_delays_calibration():
+    events: list = []
+    stage = AdaptiveStage(
+        _NeverPrunes(), predicted=0.8, events=events, calibration=2, warmup=2
+    )
+    # Candidates seen before 2 exact observations don't count.
+    for _ in range(5):
+        stage.decide(None)
+    assert stage.seen == 0 and not stage.dropped
+    stage.observe(1, (1.0,))
+    stage.observe(2, (1.0,))
+    stage.decide(None)
+    stage.decide(None)
+    assert stage.seen == 2 and stage.dropped
+    assert events and events[0]["after_candidates"] == 2
+
+
+def test_stage_warmup_per_kind(query_graph):
+    assert stage_warmup(_skyline_spec(query_graph)) == 1
+    assert stage_warmup(Query(query_graph).topk(4, "edit").build()) == 4
+    assert (
+        stage_warmup(
+            Query(query_graph).measures("edit", "mcs").skyband(3).build()
+        )
+        == 3
+    )
+    assert stage_warmup(Query(query_graph).threshold(0.5, "edit").build()) == 0
+
+
+def test_drop_event_reaches_explain_end_to_end(query_graph):
+    # 40 graphs, a threshold so large nothing prunes, and a profile
+    # pre-trained to expect heavy scalar pruning and a useless
+    # pre-filter: the planner picks the scalar stage, the observed rate
+    # collapses, and the gate drops the stage mid-query.
+    database = GraphDatabase.from_graphs(
+        [make_random_graph(seed, max_vertices=4) for seed in range(40)]
+    )
+    profile = SelectivityProfile()
+    profile.observe(
+        "threshold",
+        _stats(40, {"threshold-bound": 36}),
+        stage_names=("threshold-bound", "batch-prefilter"),
+    )
+    backend = AutoBackend(database, profile=profile)
+    expected = _reference(
+        database, lambda: Query(query_graph).threshold(1e9, "edit")
+    )
+    with repro.connect(database, backend=backend) as session:
+        result = session.execute(Query(query_graph).threshold(1e9, "edit"))
+    assert result.ids == expected.ids
+    planner = result.stats.planner
+    assert planner["summary"].startswith("bound-ordered+threshold-bound")
+    (event,) = planner["replans"]
+    assert event["event"] == "drop-stage"
+    assert event["stage"] == "threshold-bound"
+    assert "re-plan: dropped stage threshold-bound" in result.explain()
+    # The collapsed run must not poison the profile: the pre-trained
+    # selectivity survives untouched (the prior, not the forced zero).
+    assert profile.selectivity("threshold", "threshold-bound") == pytest.approx(
+        0.9
+    )
+
+
+class _StubPooled:
+    max_workers = 4
+
+    def __init__(self):
+        self.begun = False
+        self.evaluated = []
+        self.drained = False
+
+    def begin(self, ctx):
+        self.begun = True
+
+    def chunk(self, pairs):
+        return [pairs] if pairs else []
+
+    def evaluate(self, ctx, candidate):
+        self.evaluated.append(candidate)
+        return None
+
+    def drain(self, ctx):
+        self.drained = True
+        return []
+
+    def drained_pruned_ids(self):
+        return ("stub",)
+
+
+class _StubSerial:
+    def evaluate(self, ctx, candidate):
+        return (1.0,)
+
+
+def test_adaptive_evaluator_switches_to_the_pool():
+    events: list = []
+    pooled = _StubPooled()
+    evaluator = AdaptiveEvaluator(
+        pooled,
+        expected_survivors=10_000,
+        events=events,
+        calibration=3,
+        pool_started=True,
+    )
+    evaluator._serial = _StubSerial()
+    evaluator.begin(None)
+    assert pooled.begun
+    for _ in range(3):
+        assert evaluator.evaluate(None, "cand") == (1.0,)
+    assert evaluator.switched
+    (event,) = events
+    assert event["event"] == "switch-evaluator"
+    assert event["from"] == "serial" and event["to"] == "pooled"
+    assert event["after_pairs"] == 3
+    assert event["expected_remaining"] == 10_000 - 3
+    # Post-switch work goes to the pool; drain delegates too.
+    evaluator.evaluate(None, "later")
+    assert pooled.evaluated == ["later"]
+    assert evaluator.drain(None) == [] and pooled.drained
+    assert evaluator.drained_pruned_ids() == ("stub",)
+
+
+def test_adaptive_evaluator_stays_serial_below_the_bar():
+    events: list = []
+    evaluator = AdaptiveEvaluator(
+        _StubPooled(),
+        expected_survivors=4,  # nothing left to save after calibration
+        events=events,
+        calibration=3,
+        pool_started=False,
+    )
+    evaluator._serial = _StubSerial()
+    evaluator.begin(None)
+    for _ in range(4):
+        evaluator.evaluate(None, "cand")
+    assert not evaluator.switched and events == []
+    assert evaluator.drain(None) == []
+    assert evaluator.drained_pruned_ids() == ()
+
+
+def test_explain_renders_switch_events(database, query_graph):
+    with repro.connect(database, backend="auto") as session:
+        result = session.execute(_skyline_spec(query_graph))
+    result.stats.planner["replans"] = [
+        {
+            "event": "switch-evaluator",
+            "from": "serial",
+            "to": "pooled",
+            "after_pairs": 16,
+            "pair_ms": 2.5,
+            "expected_remaining": 84,
+        }
+    ]
+    text = result.explain()
+    assert "re-plan: switched serial → pooled after 16 pairs" in text
+
+
+# ----------------------------------------------------------------------
+# Sharded scatter path
+# ----------------------------------------------------------------------
+def test_sharded_auto_parity_and_per_shard_plans(database, query_graph):
+    expected = _reference(database, lambda: _skyline_spec(query_graph))
+    sharded = ShardedGraphDatabase.from_database(database, shards=3)
+    with repro.connect(sharded, backend="auto") as session:
+        result = session.execute(_skyline_spec(query_graph))
+    assert result.ids == expected.ids
+    planner = result.stats.planner
+    assert planner["summary"].startswith("scatter×3+")
+    assert planner["source"] == "scatter×3"
+    rows = planner["per_shard"]
+    assert [row["shard"] for row in rows] == [0, 1, 2]
+    assert all(row["evaluator"] for row in rows)
+    assert sum(row["size"] for row in rows) == len(database)
+    assert "shard 0:" in result.explain()
+
+
+# ----------------------------------------------------------------------
+# Diagnostics: availability() + the ``repro backends`` CLI
+# ----------------------------------------------------------------------
+def test_availability_reports_planner_inputs():
+    info = availability()
+    assert "auto" in info["backends"]
+    assert info["cpu_count"] >= 1
+    assert info["pool_usable"] == (info["cpu_count"] > 1)
+    assert isinstance(info["pools_started"], list)
+
+
+def test_cli_backends_lists_every_backend(capsys):
+    from repro.cli import main
+
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    for name in ("auto", "memory", "indexed", "parallel", "sharded"):
+        assert name in out
+    assert "cpu" in out
+
+
+def test_cli_fuzz_accepts_auto_backend():
+    from repro.cli import main
+
+    assert main(["fuzz", "--seed", "3", "--steps", "12", "--backend", "auto"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Server: one shared profile across clients
+# ----------------------------------------------------------------------
+def test_server_clients_share_one_profile(database, query_graph):
+    import http.client
+    import json
+
+    from repro.server import ServerConfig, serve_in_thread
+
+    spec = _skyline_spec(query_graph)
+    with serve_in_thread(database, ServerConfig()) as server:
+        seen = []
+        for _ in range(2):  # fresh connection each time: distinct clients
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=60.0
+            )
+            try:
+                conn.request(
+                    "POST",
+                    "/v1/query?backend=auto",
+                    body=json.dumps(spec.to_dict()),
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                payload = json.loads(response.read())
+            finally:
+                conn.close()
+            seen.append(payload["stats"]["planner"]["profile_queries"])
+    # The second client's query ran against a profile already trained by
+    # the first — the server shares one auto session across clients.
+    assert seen == [0, 1]
